@@ -1,0 +1,143 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* freezing threshold gamma (split point sensitivity),
+* reward weights alpha/beta (accuracy-fairness trade-off),
+* hardware-reject shortcut on/off (evaluation cost),
+* unfairness metric (L1 vs worst-group gap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import (
+    BackboneProducer,
+    ProducerConfig,
+    RewardConfig,
+    compute_reward,
+    find_split_point,
+)
+from repro.experiments.common import prepare_data
+from repro.fairness.metrics import max_gap_unfairness, unfairness_score
+from repro.nn.trainer import TrainingConfig
+from repro.zoo import get_architecture
+
+
+def test_bench_ablation_freezing_gamma(benchmark, bench_preset):
+    """Sweep the freezing threshold gamma and report the resulting split points."""
+    data = prepare_data(bench_preset, seed=0)
+
+    def sweep():
+        splits = {}
+        producer = BackboneProducer(
+            dataset=data.splits.train,
+            config=ProducerConfig(
+                backbone="MobileNetV2",
+                freeze=True,
+                pretrain_epochs=bench_preset.pretrain_epochs,
+                width_multiplier=bench_preset.width_multiplier,
+            ),
+            trainer_config=TrainingConfig(epochs=bench_preset.pretrain_epochs, seed=0),
+            num_classes=data.splits.train.num_classes,
+            rng=0,
+        )
+        analysis = producer.prepare()
+        for gamma in (0.25, 0.5, 0.75, 1.0):
+            splits[gamma] = find_split_point(analysis.variations, gamma)
+        return splits
+
+    splits = run_once(benchmark, sweep)
+    # a higher threshold can only move the split point later (or keep it)
+    gammas = sorted(splits)
+    assert all(splits[a] <= splits[b] for a, b in zip(gammas, gammas[1:]))
+    print("\ngamma -> split point:", splits)
+
+
+def test_bench_ablation_reward_weights(benchmark):
+    """Sweep alpha/beta and verify the accuracy-fairness trade-off direction."""
+    accurate_unfair = {"accuracy": 0.85, "unfairness": 0.40}
+    modest_fair = {"accuracy": 0.78, "unfairness": 0.05}
+
+    def sweep():
+        outcome = {}
+        for beta in (0.0, 0.5, 1.0, 2.0, 4.0):
+            config = RewardConfig(alpha=1.0, beta=beta, timing_constraint_ms=1e9)
+            reward_a = compute_reward(
+                accurate_unfair["accuracy"], accurate_unfair["unfairness"], 1.0, config
+            )
+            reward_b = compute_reward(
+                modest_fair["accuracy"], modest_fair["unfairness"], 1.0, config
+            )
+            outcome[beta] = "accurate" if reward_a > reward_b else "fair"
+        return outcome
+
+    outcome = benchmark(sweep)
+    assert outcome[0.0] == "accurate"
+    assert outcome[4.0] == "fair"
+    print("\nbeta -> preferred candidate:", outcome)
+
+
+def test_bench_ablation_hardware_reject_shortcut(benchmark, bench_preset):
+    """Measure how many candidate networks the latency shortcut rejects untrained."""
+    from repro.core import LSTMController, SearchSpace
+    from repro.hardware.latency import LatencyEstimator
+    from repro.hardware.device import RASPBERRY_PI_4
+
+    data = prepare_data(bench_preset, seed=0)
+    producer = BackboneProducer(
+        dataset=data.splits.train,
+        config=ProducerConfig(
+            backbone="MobileNetV2",
+            freeze=True,
+            pretrain_epochs=0,
+            width_multiplier=bench_preset.width_multiplier,
+            max_searchable=bench_preset.max_searchable,
+        ),
+        trainer_config=TrainingConfig(epochs=0, seed=0),
+        num_classes=data.splits.train.num_classes,
+        rng=0,
+    )
+    producer.prepare()
+    space = SearchSpace()
+    controller = LSTMController(space, producer.positions, hidden_size=16, rng=0)
+    estimator = LatencyEstimator(RASPBERRY_PI_4, resolution=224)
+
+    def count_rejections():
+        rejected = 0
+        sampled = 24
+        rng = np.random.default_rng(0)
+        for _ in range(sampled):
+            sample = controller.sample(rng=rng)
+            child = producer.produce(sample.decisions, rng=rng)
+            if estimator.network_latency_ms(child.descriptor) > 1500.0:
+                rejected += 1
+        return rejected, sampled
+
+    rejected, sampled = run_once(benchmark, count_rejections)
+    print(f"\nhardware shortcut rejects {rejected}/{sampled} children without training")
+    assert 0 <= rejected <= sampled
+
+
+def test_bench_ablation_unfairness_metric(benchmark, bench_preset):
+    """Compare the paper's L1 unfairness score against the worst-group gap."""
+    data = prepare_data(bench_preset, seed=0)
+    dataset = data.splits.test
+    rng = np.random.default_rng(0)
+
+    def compare_metrics():
+        results = []
+        for _ in range(50):
+            predictions = rng.integers(0, dataset.num_classes, size=len(dataset))
+            l1 = unfairness_score(
+                predictions, dataset.labels, dataset.groups, dataset.group_names
+            )
+            gap = max_gap_unfairness(
+                predictions, dataset.labels, dataset.groups, dataset.group_names
+            )
+            results.append((l1, gap))
+        return results
+
+    results = benchmark(compare_metrics)
+    # the worst-group gap never exceeds the L1 score, and both are non-negative
+    assert all(0 <= gap <= l1 + 1e-12 for l1, gap in results)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 1 (unfairness vs model size / minority volume)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark, bench_preset):
+    result = run_once(benchmark, figure1.run, preset=bench_preset, seed=0)
+    rendered = figure1.render(result)
+    # the series covers every Figure 1(a) network and every minority multiplier
+    assert len(result.size_fairness) == len(figure1.FIGURE1A_NETWORKS)
+    assert set(result.minority_sweep) == set(figure1.FIGURE1B_MULTIPLIERS)
+    assert "unfairness" in rendered
+    print("\n" + rendered)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 2 (per-group accuracy and unfairness)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, bench_preset):
+    result = run_once(benchmark, figure2.run, preset=bench_preset, seed=0)
+    rendered = figure2.render(result)
+    assert len(result.evaluations) == len(figure2.FIGURE2_NETWORKS)
+    for evaluation in result.evaluations:
+        assert set(evaluation.group_accuracy) == {"light", "dark"}
+    print("\n" + rendered)

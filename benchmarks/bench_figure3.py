@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 3 (per-stage group feature variation)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure3
+
+
+def test_bench_figure3(benchmark, bench_preset):
+    result = run_once(benchmark, figure3.run, preset=bench_preset, seed=0)
+    rendered = figure3.render(result)
+    analysis = result.analysis
+    # one variation value per spatial stage (stem + every MobileNetV2 block)
+    assert len(analysis.variations) == 18
+    assert all(v >= 0 for v in analysis.variations)
+    assert 0 <= analysis.split_index < len(analysis.variations)
+    print("\n" + rendered)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 (FaHaNa search vs existing networks)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5(benchmark, bench_preset):
+    result = run_once(benchmark, figure5.run, preset=bench_preset, seed=0)
+    rendered = figure5.render(result)
+    assert len(result.search.history) == bench_preset.search_episodes
+    assert len(result.existing) == len(figure5.COMPARISON_NETWORKS)
+    print("\n" + rendered)

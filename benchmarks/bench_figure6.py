@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 6 (accuracy/unfairness Pareto frontiers)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure6
+
+
+def test_bench_figure6(benchmark, bench_preset):
+    result = run_once(benchmark, figure6.run, preset=bench_preset, seed=0)
+    rendered = figure6.render(result)
+    # each group has a non-empty frontier and it is a subset of the group rows
+    assert result.frontier_g1 and result.frontier_g2
+    g1_names = {row.evaluation.name for row in result.table3.group_rows(1)}
+    assert {r.evaluation.name for r in result.frontier_g1} <= g1_names
+    print("\n" + rendered)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 7 (FaHaNa-Fair architecture visualisation)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure7
+
+
+def test_bench_figure7(benchmark):
+    result = run_once(benchmark, figure7.run)
+    rendered = figure7.render(result)
+    assert result.descriptor.name == "FaHaNa-Fair"
+    assert result.tail_uses_larger_blocks
+    assert "Conv 7x7" in rendered
+    print("\n" + rendered)

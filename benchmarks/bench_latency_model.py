@@ -1,0 +1,39 @@
+"""Benchmark: the analytic latency model itself (pricing speed and fidelity).
+
+During the search every sampled child must be priced before the train/skip
+decision, so the per-network pricing cost is on the NAS critical path.  This
+benchmark measures it and re-validates the calibration against the paper's
+published Raspberry Pi latencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import paper_values
+from repro.hardware import RASPBERRY_PI_4, LatencyEstimator, estimate_latency_ms
+from repro.zoo import get_architecture
+
+
+def test_bench_latency_pricing_throughput(benchmark):
+    descriptors = [get_architecture(name) for name in paper_values.TABLE3]
+    estimator = LatencyEstimator(RASPBERRY_PI_4, resolution=224)
+
+    def price_all():
+        return [estimator.network_latency_ms(d) for d in descriptors]
+
+    latencies = benchmark(price_all)
+    assert all(latency > 0 for latency in latencies)
+
+
+def test_bench_latency_model_fidelity(benchmark):
+    def evaluate_fidelity():
+        ratios = []
+        for name, row in paper_values.TABLE1.items():
+            estimate = estimate_latency_ms(get_architecture(name), RASPBERRY_PI_4)
+            ratios.append(estimate / row["latency_pi_ms"])
+        return ratios
+
+    ratios = benchmark(evaluate_fidelity)
+    # calibrated model stays within a factor of ~2 of the paper's measurements
+    assert 0.4 < float(np.median(ratios)) < 2.0

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 1 (hardware specification vs fairness)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import paper_values, table1
+
+
+def test_bench_table1(benchmark, bench_preset):
+    result = run_once(benchmark, table1.run, preset=bench_preset, seed=0)
+    rendered = table1.render(result)
+    # the latency model reproduces the paper's meets-spec pattern exactly
+    for name, row in paper_values.TABLE1.items():
+        assert result.meets_spec(name) == row["meets_spec"], name
+    print("\n" + rendered)

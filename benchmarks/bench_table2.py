@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 (freezing effectiveness, MONAS vs FaHaNa)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, bench_preset):
+    result = run_once(benchmark, table2.run, preset=bench_preset, seed=0, episodes=2)
+    rendered = table2.render(result)
+    fahana_space = result.runs["FaHaNa"]["tight"].history.space_size
+    monas_space = result.runs["MONAS"]["tight"].history.space_size
+    # freezing shrinks the search space (the paper reports 1e19 -> 1e9)
+    assert fahana_space < monas_space
+    # FaHaNa trains only the searchable tail, so its per-episode cost is lower
+    assert result.speedup("relaxed") > 0
+    print("\n" + rendered)

@@ -1,0 +1,74 @@
+"""Run the FaHaNa fairness- and hardware-aware architecture search.
+
+This is the paper's headline use case: given the dermatology dataset, a
+target device (Raspberry Pi 4) and a timing constraint, search for networks
+that balance accuracy and fairness while meeting the hardware specification.
+The script then prints the searched Pareto candidates and compares the best
+one against MobileNetV2.
+
+Expected runtime: a few minutes at the default (reduced) scale.  Increase
+``EPISODES`` / image size for higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+from repro.core import run_fahana_search
+from repro.core.api import default_design_spec
+from repro.data import DermatologyConfig, DermatologyGenerator, stratified_split
+from repro.experiments.common import evaluate_architecture, prepare_data
+from repro.experiments.presets import get_preset
+from repro.hardware import RASPBERRY_PI_4
+
+EPISODES = 12
+
+
+def main() -> None:
+    preset = get_preset("ci")
+    data = prepare_data(preset, seed=0)
+    spec = default_design_spec(device=RASPBERRY_PI_4, timing_constraint_ms=1500.0)
+
+    print(
+        f"searching {EPISODES} episodes on {spec.hardware.device.name} "
+        f"with TC = {spec.timing_constraint_ms:.0f} ms ..."
+    )
+    result = run_fahana_search(
+        data.splits.train,
+        data.splits.validation,
+        spec,
+        episodes=EPISODES,
+        width_multiplier=preset.width_multiplier,
+        child_epochs=preset.child_epochs,
+        pretrain_epochs=preset.pretrain_epochs,
+        max_searchable=preset.max_searchable,
+        seed=0,
+    )
+
+    print("\n== search summary ==")
+    print(result.summary())
+
+    if result.freezing_analysis is not None:
+        print("\n== freezing analysis (Observation 3 / Figure 3) ==")
+        print(result.freezing_analysis.describe())
+
+    print("\n== Pareto candidates (reward vs model size) ==")
+    for record in result.history.pareto_reward_size():
+        print(
+            f"  episode {record.episode:3d}: reward={record.reward:.4f} "
+            f"accuracy={record.accuracy:.2%} unfairness={record.unfairness:.4f} "
+            f"params={record.num_parameters:,} latency={record.latency_ms:.0f} ms"
+        )
+
+    if result.best is not None:
+        print("\n== best searched network vs MobileNetV2 ==")
+        baseline = evaluate_architecture("MobileNetV2", preset, seed=0)
+        best = result.best
+        print(f"  MobileNetV2 : unfairness={baseline.unfairness:.4f}, "
+              f"params={baseline.params:,}, Pi latency={baseline.latency_pi_ms:.0f} ms")
+        print(f"  FaHaNa best : unfairness={best.unfairness:.4f}, "
+              f"params={best.num_parameters:,}, Pi latency={best.latency_ms:.0f} ms")
+        print("\n== best searched architecture ==")
+        print(best.descriptor.describe())
+
+
+if __name__ == "__main__":
+    main()

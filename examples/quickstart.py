@@ -1,0 +1,59 @@
+"""Quickstart: generate the dataset, train one network, measure its fairness.
+
+Runs in about a minute on a laptop CPU.  It walks through the library's main
+objects in the order a user would meet them:
+
+1. generate the synthetic dermatology dataset (light-skin majority,
+   dark-skin minority) and split it 60/20/20,
+2. build a reference architecture from the zoo at a reduced training scale,
+3. train it and evaluate overall accuracy, per-group accuracy and the
+   paper's unfairness score,
+4. price the same architecture on the Raspberry Pi / Odroid latency models.
+"""
+
+from __future__ import annotations
+
+from repro.data import DermatologyConfig, DermatologyGenerator, normalize_images, stratified_split
+from repro.fairness import evaluate_fairness
+from repro.hardware import ODROID_XU4, RASPBERRY_PI_4, estimate_latency_ms
+from repro.nn import Trainer, TrainingConfig
+from repro.zoo import get_architecture
+
+
+def main() -> None:
+    # 1. Data: 5 dermatology classes, two skin-tone groups, 4:1 imbalance.
+    config = DermatologyConfig(
+        image_size=24, samples_per_class_majority=40, minority_fraction=0.25, seed=7
+    )
+    dataset = DermatologyGenerator(config).generate()
+    splits = stratified_split(dataset, rng=0)
+    print(f"dataset: {len(dataset)} images, groups = {dataset.group_counts()}")
+
+    train_images, mean, std = normalize_images(splits.train.images)
+    splits.train.images[:] = train_images
+    splits.test.images[:] = normalize_images(splits.test.images, mean, std)[0]
+
+    # 2. Architecture: the paper's FaHaNa-Fair reference network, built at a
+    #    reduced width so CPU training is quick.
+    descriptor = get_architecture("FaHaNa-Fair")
+    print(f"\n{descriptor.describe()}\n")
+    model = descriptor.build(num_classes=5, width_multiplier=0.35, rng=0)
+
+    # 3. Train and evaluate fairness.
+    trainer = Trainer(TrainingConfig(epochs=12, batch_size=16, seed=0))
+    history = trainer.fit(model, splits.train.images, splits.train.labels)
+    report = evaluate_fairness(model, splits.test, trainer)
+    print(f"final training accuracy: {history.final_accuracy:.2%}")
+    print(f"test fairness report:    {report.summary()}")
+
+    # 4. Hardware: analytic latency at the paper's deployment scale (224x224).
+    pi = estimate_latency_ms(descriptor, RASPBERRY_PI_4)
+    odroid = estimate_latency_ms(descriptor, ODROID_XU4)
+    print(
+        f"deployment estimate: {descriptor.storage_mb():.2f} MB, "
+        f"{pi:.0f} ms on Raspberry Pi 4, {odroid:.0f} ms on Odroid XU-4"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Reproduction of "The Larger The Fairer? Small Neural Networks Can Achieve
+Fairness for Edge Devices" (DAC 2022).
+
+The package provides:
+
+* :mod:`repro.nn` -- a from-scratch numpy deep-learning framework,
+* :mod:`repro.blocks` -- the MB / DB / RB / CB block library of the paper,
+* :mod:`repro.zoo` -- reference architectures used as competitors,
+* :mod:`repro.data` -- the synthetic dermatology dataset substrate,
+* :mod:`repro.fairness` -- group accuracy and unfairness-score metrics,
+* :mod:`repro.hardware` -- edge-device latency / storage models,
+* :mod:`repro.core` -- the FaHaNa fairness- and hardware-aware NAS framework
+  (the paper's primary contribution) and the MONAS baseline,
+* :mod:`repro.experiments` -- one harness per table / figure of the paper.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

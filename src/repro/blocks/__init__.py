@@ -1,0 +1,38 @@
+"""Block library: the four searchable block types of the FaHaNa search space.
+
+The paper's search space (Figure 4) is built from:
+
+* ``MB`` -- MobileNetV2 inverted-residual block with stride 2,
+* ``DB`` -- MobileNetV2 inverted-residual block with stride 1 (residual add),
+* ``RB`` -- ResNet basic block,
+* ``CB`` -- conventional convolution block,
+
+all parameterised by channel counts (CH1, CH2, CH3) and kernel size K, plus
+an optional skip that turns the block into an identity to vary network depth.
+"""
+
+from repro.blocks.spec import (
+    BlockSpec,
+    OpCost,
+    StemSpec,
+    ClassifierSpec,
+    BLOCK_TYPES,
+)
+from repro.blocks.mobile import MobileInvertedBlock
+from repro.blocks.residual import ResidualBlock, BottleneckBlock
+from repro.blocks.conv_block import ConvBlock
+from repro.blocks.factory import build_block, SkipBlock
+
+__all__ = [
+    "BlockSpec",
+    "OpCost",
+    "StemSpec",
+    "ClassifierSpec",
+    "BLOCK_TYPES",
+    "MobileInvertedBlock",
+    "ResidualBlock",
+    "BottleneckBlock",
+    "ConvBlock",
+    "SkipBlock",
+    "build_block",
+]

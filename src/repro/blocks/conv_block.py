@@ -1,0 +1,50 @@
+"""Conventional convolution block (the CB block type)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blocks.spec import BlockSpec
+from repro.nn.layers import BatchNorm2d, Conv2d, ReLU
+from repro.nn.module import Module, Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class ConvBlock(Module):
+    """1x1 conv followed by a KxK conv, both with batch norm and ReLU.
+
+    This is the plain feed-forward block of the search space; the paper's
+    searched FaHaNa-Fair network uses CB (and RB) blocks in its tail where
+    fairness is most sensitive to capacity.
+    """
+
+    def __init__(self, spec: BlockSpec, rng: SeedLike = None):
+        super().__init__()
+        if spec.block_type != "CB":
+            raise ValueError(f"expected a CB spec, got {spec.block_type}")
+        self.spec = spec
+        rngs = spawn_rngs(rng, 2)
+        self.body = Sequential(
+            Conv2d(spec.ch_in, spec.ch_mid, 1, bias=False, rng=rngs[0]),
+            BatchNorm2d(spec.ch_mid),
+            ReLU(),
+            Conv2d(
+                spec.ch_mid,
+                spec.ch_out,
+                spec.kernel,
+                stride=spec.stride,
+                bias=False,
+                rng=rngs[1],
+            ),
+            BatchNorm2d(spec.ch_out),
+            ReLU(),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.body.forward(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.body.backward(grad_output)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConvBlock({self.spec.describe()})"

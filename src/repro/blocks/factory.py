@@ -1,0 +1,45 @@
+"""Instantiate trainable modules from block specifications."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blocks.conv_block import ConvBlock
+from repro.blocks.mobile import MobileInvertedBlock
+from repro.blocks.residual import BottleneckBlock, ResidualBlock
+from repro.blocks.spec import BlockSpec
+from repro.nn.layers import Identity
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike
+
+
+class SkipBlock(Module):
+    """Identity block used when the controller decides to skip a position."""
+
+    def __init__(self, spec: BlockSpec):
+        super().__init__()
+        self.spec = spec
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SkipBlock({self.spec.ch_in})"
+
+
+def build_block(spec: BlockSpec, rng: SeedLike = None) -> Module:
+    """Build the trainable module described by ``spec``."""
+    if spec.block_type in ("MB", "DB"):
+        return MobileInvertedBlock(spec, rng=rng)
+    if spec.block_type == "RB":
+        return ResidualBlock(spec, rng=rng)
+    if spec.block_type == "RBB":
+        return BottleneckBlock(spec, rng=rng)
+    if spec.block_type == "CB":
+        return ConvBlock(spec, rng=rng)
+    if spec.block_type == "SKIP":
+        return SkipBlock(spec)
+    raise ValueError(f"unknown block type {spec.block_type!r}")

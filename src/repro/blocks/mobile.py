@@ -1,0 +1,69 @@
+"""MobileNetV2-style inverted-residual blocks (the MB and DB block types)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.blocks.spec import BlockSpec
+from repro.nn.layers import BatchNorm2d, Conv2d, DepthwiseConv2d, ReLU6, SqueezeExcite
+from repro.nn.module import Module, Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class MobileInvertedBlock(Module):
+    """1x1 expand -> KxK depthwise -> 1x1 project, with an optional residual.
+
+    ``stride=2`` corresponds to the paper's MB block; ``stride=1`` to DB.
+    The residual addition is applied only when the spatial size and the
+    channel count are preserved (stride 1 and ``ch_in == ch_out``), matching
+    MobileNetV2.
+    """
+
+    def __init__(self, spec: BlockSpec, rng: SeedLike = None):
+        super().__init__()
+        if spec.block_type not in ("MB", "DB"):
+            raise ValueError(f"expected an MB or DB spec, got {spec.block_type}")
+        self.spec = spec
+        rngs = spawn_rngs(rng, 4)
+        self.expand = Sequential(
+            Conv2d(spec.ch_in, spec.ch_mid, 1, bias=False, rng=rngs[0]),
+            BatchNorm2d(spec.ch_mid),
+            ReLU6(),
+        )
+        self.depthwise = Sequential(
+            DepthwiseConv2d(spec.ch_mid, spec.kernel, stride=spec.stride, rng=rngs[1]),
+            BatchNorm2d(spec.ch_mid),
+            ReLU6(),
+        )
+        if spec.se_ratio > 0.0:
+            hidden = max(1, int(round(spec.ch_mid * spec.se_ratio)))
+            self.depthwise.append(SqueezeExcite(spec.ch_mid, hidden, rng=rngs[3]))
+        self.project = Sequential(
+            Conv2d(spec.ch_mid, spec.ch_out, 1, bias=False, rng=rngs[2]),
+            BatchNorm2d(spec.ch_out),
+        )
+        self.use_residual = spec.has_residual
+        self._cache_residual: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.expand.forward(x)
+        out = self.depthwise.forward(out)
+        out = self.project.forward(out)
+        if self.use_residual:
+            self._cache_residual = x
+            out = out + x
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.project.backward(grad_output)
+        grad = self.depthwise.backward(grad)
+        grad = self.expand.backward(grad)
+        if self.use_residual:
+            grad = grad + grad_output
+            self._cache_residual = None
+        return grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MobileInvertedBlock({self.spec.describe()})"

@@ -1,0 +1,133 @@
+"""ResNet-style basic block (the RB block type)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.blocks.spec import BlockSpec
+from repro.nn.layers import BatchNorm2d, Conv2d, Identity, ReLU
+from repro.nn.module import Module, Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class ResidualBlock(Module):
+    """KxK conv -> KxK conv with a residual addition and post-add ReLU.
+
+    A 1x1 projection is inserted on the shortcut whenever the channel count
+    or spatial size changes, as in standard ResNets.
+    """
+
+    def __init__(self, spec: BlockSpec, rng: SeedLike = None):
+        super().__init__()
+        if spec.block_type != "RB":
+            raise ValueError(f"expected an RB spec, got {spec.block_type}")
+        self.spec = spec
+        rngs = spawn_rngs(rng, 3)
+        self.body = Sequential(
+            Conv2d(
+                spec.ch_in,
+                spec.ch_mid,
+                spec.kernel,
+                stride=spec.stride,
+                bias=False,
+                rng=rngs[0],
+            ),
+            BatchNorm2d(spec.ch_mid),
+            ReLU(),
+            Conv2d(spec.ch_mid, spec.ch_out, spec.kernel, bias=False, rng=rngs[1]),
+            BatchNorm2d(spec.ch_out),
+        )
+        self.needs_projection = spec.ch_in != spec.ch_out or spec.stride != 1
+        if self.needs_projection:
+            self.shortcut = Sequential(
+                Conv2d(
+                    spec.ch_in,
+                    spec.ch_out,
+                    1,
+                    stride=spec.stride,
+                    bias=False,
+                    rng=rngs[2],
+                ),
+                BatchNorm2d(spec.ch_out),
+            )
+        else:
+            self.shortcut = Sequential(Identity())
+        self.post_activation = ReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        body_out = self.body.forward(x)
+        shortcut_out = self.shortcut.forward(x)
+        return self.post_activation.forward(body_out + shortcut_out)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_sum = self.post_activation.backward(grad_output)
+        grad_body = self.body.backward(grad_sum)
+        grad_shortcut = self.shortcut.backward(grad_sum)
+        return grad_body + grad_shortcut
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResidualBlock({self.spec.describe()})"
+
+
+class BottleneckBlock(Module):
+    """1x1 reduce -> KxK -> 1x1 expand with a residual add (ResNet bottleneck).
+
+    This block type (``RBB``) is used by the ResNet-50 zoo descriptor only;
+    it is not part of the FaHaNa search space.
+    """
+
+    def __init__(self, spec: BlockSpec, rng: SeedLike = None):
+        super().__init__()
+        if spec.block_type != "RBB":
+            raise ValueError(f"expected an RBB spec, got {spec.block_type}")
+        self.spec = spec
+        rngs = spawn_rngs(rng, 4)
+        self.body = Sequential(
+            Conv2d(spec.ch_in, spec.ch_mid, 1, bias=False, rng=rngs[0]),
+            BatchNorm2d(spec.ch_mid),
+            ReLU(),
+            Conv2d(
+                spec.ch_mid,
+                spec.ch_mid,
+                spec.kernel,
+                stride=spec.stride,
+                bias=False,
+                rng=rngs[1],
+            ),
+            BatchNorm2d(spec.ch_mid),
+            ReLU(),
+            Conv2d(spec.ch_mid, spec.ch_out, 1, bias=False, rng=rngs[2]),
+            BatchNorm2d(spec.ch_out),
+        )
+        self.needs_projection = spec.ch_in != spec.ch_out or spec.stride != 1
+        if self.needs_projection:
+            self.shortcut = Sequential(
+                Conv2d(
+                    spec.ch_in,
+                    spec.ch_out,
+                    1,
+                    stride=spec.stride,
+                    bias=False,
+                    rng=rngs[3],
+                ),
+                BatchNorm2d(spec.ch_out),
+            )
+        else:
+            self.shortcut = Sequential(Identity())
+        self.post_activation = ReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        body_out = self.body.forward(x)
+        shortcut_out = self.shortcut.forward(x)
+        return self.post_activation.forward(body_out + shortcut_out)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_sum = self.post_activation.backward(grad_output)
+        grad_body = self.body.backward(grad_sum)
+        grad_shortcut = self.shortcut.backward(grad_sum)
+        return grad_body + grad_shortcut
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BottleneckBlock({self.spec.describe()})"

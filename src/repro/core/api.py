@@ -1,0 +1,109 @@
+"""High-level convenience entry points.
+
+These wrap the full pipeline (dataset -> splits -> search -> result) behind
+single function calls; the example scripts and the benchmark harness use
+them, and they are the recommended starting point for library users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.core.fahana import FaHaNaConfig, FaHaNaResult, FaHaNaSearch
+from repro.core.monas import MonasConfig, MonasSearch
+from repro.core.producer import ProducerConfig
+from repro.data.dataset import DatasetSplits, GroupedDataset, stratified_split
+from repro.data.dermatology import DermatologyConfig, DermatologyGenerator
+from repro.hardware.constraints import DesignSpec, HardwareSpec, SoftwareSpec
+from repro.hardware.device import RASPBERRY_PI_4, DeviceProfile
+from repro.nn.trainer import TrainingConfig
+
+
+def default_design_spec(
+    device: DeviceProfile = RASPBERRY_PI_4,
+    timing_constraint_ms: float = 1500.0,
+    accuracy_constraint: float = 0.0,
+) -> DesignSpec:
+    """The paper's default specification: Raspberry Pi with TC = 1500 ms."""
+    return DesignSpec(
+        hardware=HardwareSpec(device=device, timing_constraint_ms=timing_constraint_ms),
+        software=SoftwareSpec(accuracy_constraint=accuracy_constraint),
+    )
+
+
+def prepare_dataset(
+    config: Optional[DermatologyConfig] = None, seed: int = 0
+) -> DatasetSplits:
+    """Generate the synthetic dermatology dataset and split it 60/20/20."""
+    dataset = DermatologyGenerator(config).generate()
+    return stratified_split(dataset, rng=seed)
+
+
+def run_fahana_search(
+    train_dataset: GroupedDataset,
+    validation_dataset: GroupedDataset,
+    design_spec: Optional[DesignSpec] = None,
+    episodes: int = 20,
+    backbone: str = "MobileNetV2",
+    gamma: float = 0.5,
+    width_multiplier: float = 0.35,
+    child_epochs: int = 5,
+    pretrain_epochs: int = 5,
+    max_searchable: Optional[int] = None,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    seed: int = 0,
+) -> FaHaNaResult:
+    """Run a FaHaNa search with sensible defaults and return its result."""
+    config = FaHaNaConfig(
+        episodes=episodes,
+        alpha=alpha,
+        beta=beta,
+        seed=seed,
+        producer=ProducerConfig(
+            backbone=backbone,
+            freeze=True,
+            gamma=gamma,
+            pretrain_epochs=pretrain_epochs,
+            width_multiplier=width_multiplier,
+            max_searchable=max_searchable,
+        ),
+        child_training=TrainingConfig(epochs=child_epochs, seed=seed),
+    )
+    search = FaHaNaSearch(
+        train_dataset, validation_dataset, design_spec or default_design_spec(), config
+    )
+    return search.run()
+
+
+def run_monas_search(
+    train_dataset: GroupedDataset,
+    validation_dataset: GroupedDataset,
+    design_spec: Optional[DesignSpec] = None,
+    episodes: int = 20,
+    backbone: str = "MobileNetV2",
+    width_multiplier: float = 0.35,
+    child_epochs: int = 5,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    seed: int = 0,
+) -> FaHaNaResult:
+    """Run the MONAS baseline (no freezing, no latency bypass)."""
+    config = MonasConfig(
+        episodes=episodes,
+        alpha=alpha,
+        beta=beta,
+        seed=seed,
+        producer=ProducerConfig(
+            backbone=backbone,
+            freeze=False,
+            pretrain_epochs=0,
+            width_multiplier=width_multiplier,
+        ),
+        child_training=TrainingConfig(epochs=child_epochs, seed=seed),
+    )
+    search = MonasSearch(
+        train_dataset, validation_dataset, design_spec or default_design_spec(), config
+    )
+    return search.run()

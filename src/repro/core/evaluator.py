@@ -1,0 +1,132 @@
+"""Evaluator & trainer (Figure 4, component 4).
+
+For every child the evaluator:
+
+1. prices the child with the offline per-block latency table; children that
+   violate the timing constraint receive reward -1 *without being trained*
+   (the paper's first acceleration),
+2. otherwise trains the child's trainable parameters (the searchable tail
+   when freezing is active) on the training split,
+3. measures overall and per-group accuracy on the validation split, computes
+   the unfairness score and evaluates the reward (Eq. 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.producer import ChildArchitecture
+from repro.core.reward import INVALID_REWARD, RewardConfig, compute_reward
+from repro.data.dataset import GroupedDataset
+from repro.fairness.report import FairnessReport, evaluate_fairness
+from repro.hardware.latency import LatencyEstimator
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class EvaluationConfig:
+    """Knobs of the child evaluation."""
+
+    reward: RewardConfig = field(default_factory=RewardConfig)
+    training: TrainingConfig = field(default_factory=lambda: TrainingConfig(epochs=5))
+    bypass_invalid: bool = True
+
+    def __post_init__(self) -> None:
+        if self.training.epochs < 0:
+            raise ValueError("training epochs must be non-negative")
+
+
+@dataclass
+class EvaluationResult:
+    """Everything measured about one child network."""
+
+    latency_ms: float
+    storage_mb: float
+    num_parameters: int
+    trained: bool
+    accuracy: float
+    unfairness: float
+    group_accuracy: Dict[str, float]
+    reward: float
+    meets_timing: bool
+    meets_accuracy: bool
+    train_seconds: float
+
+    @property
+    def is_valid(self) -> bool:
+        """True when the child satisfied both specifications."""
+        return self.reward > INVALID_REWARD
+
+
+class ChildEvaluator:
+    """Latency check, training and fairness scoring of child networks."""
+
+    def __init__(
+        self,
+        train_dataset: GroupedDataset,
+        validation_dataset: GroupedDataset,
+        latency_estimator: LatencyEstimator,
+        config: Optional[EvaluationConfig] = None,
+    ):
+        if len(train_dataset) == 0 or len(validation_dataset) == 0:
+            raise ValueError("train and validation datasets must be non-empty")
+        self.train_dataset = train_dataset
+        self.validation_dataset = validation_dataset
+        self.latency_estimator = latency_estimator
+        self.config = config or EvaluationConfig()
+        self._trainer = Trainer(self.config.training)
+
+    def evaluate(self, child: ChildArchitecture) -> EvaluationResult:
+        """Price, (conditionally) train and score one child network."""
+        reward_config = self.config.reward
+        latency = self.latency_estimator.network_latency_ms(child.descriptor)
+        storage = child.descriptor.storage_mb()
+        num_parameters = child.descriptor.param_count()
+        meets_timing = latency <= reward_config.timing_constraint_ms
+
+        if not meets_timing and self.config.bypass_invalid:
+            return EvaluationResult(
+                latency_ms=latency,
+                storage_mb=storage,
+                num_parameters=num_parameters,
+                trained=False,
+                accuracy=0.0,
+                unfairness=0.0,
+                group_accuracy={},
+                reward=INVALID_REWARD,
+                meets_timing=False,
+                meets_accuracy=False,
+                train_seconds=0.0,
+            )
+
+        start = time.perf_counter()
+        self._trainer.fit(
+            child.model, self.train_dataset.images, self.train_dataset.labels
+        )
+        train_seconds = time.perf_counter() - start
+
+        report: FairnessReport = evaluate_fairness(
+            child.model, self.validation_dataset, self._trainer
+        )
+        reward = compute_reward(
+            accuracy=report.overall_accuracy,
+            unfairness=report.unfairness,
+            latency_ms=latency,
+            config=reward_config,
+        )
+        return EvaluationResult(
+            latency_ms=latency,
+            storage_mb=storage,
+            num_parameters=num_parameters,
+            trained=True,
+            accuracy=report.overall_accuracy,
+            unfairness=report.unfairness,
+            group_accuracy=dict(report.group_accuracy),
+            reward=reward,
+            meets_timing=meets_timing,
+            meets_accuracy=report.overall_accuracy >= reward_config.accuracy_constraint,
+            train_seconds=train_seconds,
+        )

@@ -1,0 +1,192 @@
+"""The FaHaNa search loop.
+
+Ties together the four components of Figure 4: the RNN controller samples a
+child architecture from the block-based search space, the producer
+materialises it around the frozen backbone header, the evaluator prices /
+trains / scores it, and the resulting reward (Eq. 1) updates the controller
+with the Monte-Carlo policy gradient (Eq. 2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.controller import LSTMController
+from repro.core.evaluator import ChildEvaluator, EvaluationConfig
+from repro.core.freezing import FreezingAnalysis
+from repro.core.policy import PolicyGradientConfig, PolicyGradientTrainer
+from repro.core.producer import BackboneProducer, ProducerConfig
+from repro.core.results import EpisodeRecord, SearchHistory
+from repro.core.reward import RewardConfig
+from repro.core.search_space import SearchSpace
+from repro.data.dataset import GroupedDataset
+from repro.hardware.constraints import DesignSpec
+from repro.hardware.latency import LatencyEstimator
+from repro.nn.trainer import TrainingConfig
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+@dataclass
+class FaHaNaConfig:
+    """All knobs of one FaHaNa run."""
+
+    episodes: int = 50
+    alpha: float = 1.0
+    beta: float = 1.0
+    controller_hidden: int = 64
+    seed: int = 0
+    search_space: SearchSpace = field(default_factory=SearchSpace)
+    producer: ProducerConfig = field(default_factory=ProducerConfig)
+    policy: PolicyGradientConfig = field(default_factory=PolicyGradientConfig)
+    child_training: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(epochs=5)
+    )
+
+    def __post_init__(self) -> None:
+        if self.episodes <= 0:
+            raise ValueError("episodes must be positive")
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+
+
+@dataclass
+class FaHaNaResult:
+    """Outcome of a search run."""
+
+    history: SearchHistory
+    best: Optional[EpisodeRecord]
+    fairest: Optional[EpisodeRecord]
+    smallest: Optional[EpisodeRecord]
+    freezing_analysis: Optional[FreezingAnalysis]
+
+    def summary(self) -> str:
+        lines = [
+            f"episodes={len(self.history)}  valid={self.history.valid_ratio():.1%}  "
+            f"space={self.history.space_size:.2e}  time={self.history.total_seconds:.1f}s"
+        ]
+        if self.best is not None:
+            lines.append(
+                f"best reward={self.best.reward:.4f} "
+                f"(accuracy={self.best.accuracy:.2%}, unfairness={self.best.unfairness:.4f}, "
+                f"params={self.best.num_parameters:,})"
+            )
+        if self.fairest is not None:
+            lines.append(
+                f"fairest unfairness={self.fairest.unfairness:.4f} "
+                f"(accuracy={self.fairest.accuracy:.2%})"
+            )
+        if self.smallest is not None:
+            lines.append(
+                f"smallest valid {self.smallest.num_parameters:,} parameters "
+                f"(accuracy={self.smallest.accuracy:.2%})"
+            )
+        return "\n".join(lines)
+
+
+class FaHaNaSearch:
+    """Fairness- and hardware-aware NAS (the paper's framework)."""
+
+    def __init__(
+        self,
+        train_dataset: GroupedDataset,
+        validation_dataset: GroupedDataset,
+        design_spec: Optional[DesignSpec] = None,
+        config: Optional[FaHaNaConfig] = None,
+    ):
+        self.train_dataset = train_dataset
+        self.validation_dataset = validation_dataset
+        self.design_spec = design_spec or DesignSpec()
+        self.config = config or FaHaNaConfig()
+
+        rngs = spawn_rngs(self.config.seed, 4)
+        self.producer = BackboneProducer(
+            dataset=train_dataset,
+            search_space=self.config.search_space,
+            config=self.config.producer,
+            trainer_config=TrainingConfig(
+                epochs=self.config.producer.pretrain_epochs,
+                batch_size=self.config.child_training.batch_size,
+                learning_rate=self.config.child_training.learning_rate,
+                optimizer=self.config.child_training.optimizer,
+                seed=self.config.seed,
+            ),
+            num_classes=train_dataset.num_classes,
+            rng=rngs[0],
+        )
+        self.producer.prepare()
+
+        self.controller = LSTMController(
+            search_space=self.config.search_space,
+            positions=self.producer.positions,
+            hidden_size=self.config.controller_hidden,
+            rng=rngs[1],
+        )
+        self.policy_trainer = PolicyGradientTrainer(self.controller, self.config.policy)
+
+        reward_config = RewardConfig(
+            alpha=self.config.alpha,
+            beta=self.config.beta,
+            accuracy_constraint=self.design_spec.accuracy_constraint,
+            timing_constraint_ms=self.design_spec.timing_constraint_ms,
+        )
+        estimator = LatencyEstimator(
+            device=self.design_spec.hardware.device,
+            resolution=self.producer.backbone.input_resolution,
+        )
+        self.evaluator = ChildEvaluator(
+            train_dataset=train_dataset,
+            validation_dataset=validation_dataset,
+            latency_estimator=estimator,
+            config=EvaluationConfig(
+                reward=reward_config,
+                training=self.config.child_training,
+                bypass_invalid=True,
+            ),
+        )
+        self._sample_rng = rngs[2]
+        self._child_rng = rngs[3]
+
+    # -- search loop ------------------------------------------------------------------
+    def run(self, episodes: Optional[int] = None) -> FaHaNaResult:
+        """Run the search and return the history plus the headline networks."""
+        num_episodes = episodes or self.config.episodes
+        history = SearchHistory(
+            space_size=self.producer.space_size(),
+            full_space_size=self.producer.full_space_size(),
+            frozen_blocks=self.producer.split_block,
+            searchable_blocks=len(self.producer.positions),
+        )
+        start = time.perf_counter()
+        for episode in range(num_episodes):
+            episode_start = time.perf_counter()
+            sample = self.controller.sample(rng=self._sample_rng)
+            child = self.producer.produce(sample.decisions, rng=self._child_rng)
+            evaluation = self.evaluator.evaluate(child)
+            self.policy_trainer.observe(sample, evaluation.reward)
+            history.append(
+                EpisodeRecord(
+                    episode=episode,
+                    descriptor=child.descriptor,
+                    decisions=[spec.describe() for spec in child.descriptor.blocks],
+                    reward=evaluation.reward,
+                    accuracy=evaluation.accuracy,
+                    unfairness=evaluation.unfairness,
+                    latency_ms=evaluation.latency_ms,
+                    storage_mb=evaluation.storage_mb,
+                    num_parameters=evaluation.num_parameters,
+                    trained=evaluation.trained,
+                    group_accuracy=evaluation.group_accuracy,
+                    elapsed_seconds=time.perf_counter() - episode_start,
+                )
+            )
+        self.policy_trainer.apply_update()
+        history.total_seconds = time.perf_counter() - start
+        return FaHaNaResult(
+            history=history,
+            best=history.best_record(),
+            fairest=history.fairest_record(),
+            smallest=history.smallest_record(),
+            freezing_analysis=self.producer.analysis,
+        )

@@ -1,0 +1,145 @@
+"""Model freezing: find the frozen/searchable split point (Observation 3).
+
+The paper observes that the front layers of a network extract common features
+whose intermediate maps barely differ between demographic groups, while the
+tail layers differentiate them (Figure 3).  FaHaNa therefore freezes the
+header of a pre-trained backbone and searches only the tail:
+
+1. stream a batch of majority and a batch of minority images through the
+   pre-trained backbone and keep every stage's feature maps,
+2. compute the per-stage feature variation between groups with an L2 norm,
+3. set the threshold ``T = gamma * max(variation)`` and pick the foremost
+   stage whose variation exceeds ``T``; that stage and everything after it is
+   searchable, everything before it is frozen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import GroupedDataset
+from repro.nn.module import Sequential
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class FreezingAnalysis:
+    """Result of the split-point analysis."""
+
+    variations: List[float]
+    threshold: float
+    split_index: int
+    gamma: float
+
+    @property
+    def num_frozen_stages(self) -> int:
+        return self.split_index
+
+    def describe(self) -> str:
+        lines = [
+            f"freezing analysis (gamma={self.gamma}, threshold={self.threshold:.4f}, "
+            f"split at stage {self.split_index})"
+        ]
+        for index, variation in enumerate(self.variations):
+            marker = "frozen" if index < self.split_index else "searchable"
+            lines.append(f"  stage {index:2d}: variation={variation:.4f} [{marker}]")
+        return "\n".join(lines)
+
+
+def feature_variation(
+    features_a: Sequence[np.ndarray], features_b: Sequence[np.ndarray]
+) -> List[float]:
+    """Per-stage L2 variation between the mean feature maps of two groups.
+
+    Each element of ``features_a`` / ``features_b`` is the stage output for a
+    batch of group-A / group-B images.  The variation of a stage is the L2
+    distance between the two group-mean feature maps after each has been
+    normalised to unit norm.  The normalisation makes the metric measure
+    *pattern* dissimilarity (the paper's "similar pattern" vs "different
+    pattern" in Figure 3) rather than amplitude differences: early layers see
+    large brightness offsets between skin tones but encode the same common
+    features, while trained tail layers respond to the groups with genuinely
+    different activation patterns.
+    """
+    if len(features_a) != len(features_b):
+        raise ValueError("both groups must have the same number of stages")
+    variations: List[float] = []
+    for stage_a, stage_b in zip(features_a, features_b):
+        mean_a = np.asarray(stage_a).mean(axis=0).ravel()
+        mean_b = np.asarray(stage_b).mean(axis=0).ravel()
+        if mean_a.shape != mean_b.shape:
+            raise ValueError("stage outputs of the two groups have different shapes")
+        norm_a = np.linalg.norm(mean_a)
+        norm_b = np.linalg.norm(mean_b)
+        if norm_a < 1e-12 or norm_b < 1e-12:
+            variations.append(0.0)
+            continue
+        diff = mean_a / norm_a - mean_b / norm_b
+        variations.append(float(np.linalg.norm(diff)))
+    return variations
+
+
+def find_split_point(variations: Sequence[float], gamma: float = 0.5) -> int:
+    """Index of the foremost stage whose variation exceeds ``gamma * max``."""
+    if not variations:
+        raise ValueError("variations must not be empty")
+    if not 0.0 < gamma <= 1.0:
+        raise ValueError("gamma must be in (0, 1]")
+    threshold = gamma * max(variations)
+    for index, variation in enumerate(variations):
+        if variation >= threshold and variation > 0:
+            return index
+    return len(variations) - 1
+
+
+def analyse_model_freezing(
+    model: Sequential,
+    dataset: GroupedDataset,
+    gamma: float = 0.5,
+    num_stages: Optional[int] = None,
+    batch_size: int = 32,
+    rng: SeedLike = 0,
+) -> FreezingAnalysis:
+    """Run the full split-point analysis on a (pre-trained) staged model.
+
+    ``num_stages`` limits the analysis to the first stages of the model
+    (typically stem + blocks, excluding pooling / classifier).  One batch per
+    group is drawn from ``dataset``.
+    """
+    generator = new_rng(rng)
+    majority = dataset.majority_group()
+    minority = dataset.minority_group()
+    batches = {}
+    for group in (majority, minority):
+        indices = dataset.group_indices(group)
+        if indices.size == 0:
+            raise ValueError(f"group {group!r} has no samples")
+        chosen = generator.choice(indices, size=min(batch_size, indices.size), replace=False)
+        batches[group] = dataset.images[chosen]
+
+    model.eval()
+    features_major = model.forward_collect(batches[majority])
+    features_minor = model.forward_collect(batches[minority])
+    model.train()
+    if num_stages is not None:
+        features_major = features_major[:num_stages]
+        features_minor = features_minor[:num_stages]
+    # Only spatial stages (4-D outputs) participate: pooling and the classifier
+    # produce 2-D outputs and are never frozen.
+    spatial = [
+        index
+        for index, feat in enumerate(features_major)
+        if np.asarray(feat).ndim == 4
+    ]
+    features_major = [features_major[i] for i in spatial]
+    features_minor = [features_minor[i] for i in spatial]
+
+    variations = feature_variation(features_major, features_minor)
+    split = find_split_point(variations, gamma)
+    threshold = gamma * max(variations)
+    return FreezingAnalysis(
+        variations=variations, threshold=threshold, split_index=split, gamma=gamma
+    )

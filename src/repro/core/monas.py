@@ -1,0 +1,51 @@
+"""MONAS baseline: multi-objective NAS without FaHaNa's accelerations.
+
+The paper compares FaHaNa against MONAS [32] with fairness added as an extra
+objective.  The relevant differences, reproduced here, are:
+
+* no freezing -- every backbone position is searchable, so the search space
+  is the full product space and every child is trained end to end,
+* no hardware-reject shortcut -- children are always trained, and the
+  specification check only affects the reward afterwards.
+
+Everything else (controller, policy gradient, reward shape) is shared, which
+isolates the effect of the two FaHaNa accelerations exactly as Table 2 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.evaluator import EvaluationConfig
+from repro.core.fahana import FaHaNaConfig, FaHaNaResult, FaHaNaSearch
+from repro.core.producer import ProducerConfig
+from repro.data.dataset import GroupedDataset
+from repro.hardware.constraints import DesignSpec
+
+
+@dataclass
+class MonasConfig(FaHaNaConfig):
+    """MONAS shares FaHaNa's knobs; freezing is forced off."""
+
+
+class MonasSearch(FaHaNaSearch):
+    """Multi-objective NAS baseline (fairness-aware, but no accelerations)."""
+
+    def __init__(
+        self,
+        train_dataset: GroupedDataset,
+        validation_dataset: GroupedDataset,
+        design_spec: Optional[DesignSpec] = None,
+        config: Optional[MonasConfig] = None,
+    ):
+        config = config or MonasConfig()
+        producer_config = replace(config.producer, freeze=False, pretrain_epochs=0)
+        config = replace(config, producer=producer_config)
+        super().__init__(train_dataset, validation_dataset, design_spec, config)
+        # MONAS trains every child before the specification check.
+        self.evaluator.config = EvaluationConfig(
+            reward=self.evaluator.config.reward,
+            training=self.evaluator.config.training,
+            bypass_invalid=False,
+        )

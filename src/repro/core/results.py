@@ -1,0 +1,134 @@
+"""Search history: per-episode records, statistics and Pareto extraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.reward import INVALID_REWARD
+from repro.utils.pareto import pareto_frontier
+from repro.zoo.descriptors import ArchitectureDescriptor
+
+
+@dataclass
+class EpisodeRecord:
+    """One search episode: the sampled child and its evaluation."""
+
+    episode: int
+    descriptor: ArchitectureDescriptor
+    decisions: List[str]
+    reward: float
+    accuracy: float
+    unfairness: float
+    latency_ms: float
+    storage_mb: float
+    num_parameters: int
+    trained: bool
+    group_accuracy: Dict[str, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def is_valid(self) -> bool:
+        return self.reward > INVALID_REWARD
+
+
+@dataclass
+class SearchHistory:
+    """All episodes of one search run plus run-level metadata."""
+
+    records: List[EpisodeRecord] = field(default_factory=list)
+    space_size: float = 0.0
+    full_space_size: float = 0.0
+    total_seconds: float = 0.0
+    frozen_blocks: int = 0
+    searchable_blocks: int = 0
+
+    def append(self, record: EpisodeRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- statistics ------------------------------------------------------------------
+    def valid_records(self) -> List[EpisodeRecord]:
+        """Episodes whose reward is not the -1 penalty."""
+        return [r for r in self.records if r.is_valid]
+
+    def valid_ratio(self) -> float:
+        """Fraction of episodes that produced a specification-satisfying child."""
+        if not self.records:
+            return 0.0
+        return len(self.valid_records()) / len(self.records)
+
+    def best_record(self) -> Optional[EpisodeRecord]:
+        """Episode with the highest reward (None when nothing was valid)."""
+        valid = self.valid_records()
+        if not valid:
+            return None
+        return max(valid, key=lambda r: r.reward)
+
+    def fairest_record(self) -> Optional[EpisodeRecord]:
+        """Valid episode with the lowest unfairness score."""
+        valid = [r for r in self.valid_records() if r.trained]
+        if not valid:
+            return None
+        return min(valid, key=lambda r: r.unfairness)
+
+    def smallest_record(self) -> Optional[EpisodeRecord]:
+        """Valid episode with the fewest parameters."""
+        valid = [r for r in self.valid_records() if r.trained]
+        if not valid:
+            return None
+        return min(valid, key=lambda r: r.num_parameters)
+
+    def top_k(self, k: int = 5) -> List[EpisodeRecord]:
+        """The k highest-reward valid episodes (best first)."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return sorted(self.valid_records(), key=lambda r: r.reward, reverse=True)[:k]
+
+    def reward_trajectory(self) -> List[float]:
+        """Per-episode rewards in order (for convergence plots)."""
+        return [r.reward for r in self.records]
+
+    def best_reward_so_far(self) -> List[float]:
+        """Running maximum of the reward trajectory."""
+        best = float("-inf")
+        trajectory = []
+        for record in self.records:
+            best = max(best, record.reward)
+            trajectory.append(best)
+        return trajectory
+
+    # -- Pareto fronts ------------------------------------------------------------------
+    def pareto_accuracy_fairness(self) -> List[EpisodeRecord]:
+        """Non-dominated episodes in (accuracy up, unfairness down)."""
+        valid = [r for r in self.valid_records() if r.trained]
+        return pareto_frontier(
+            valid,
+            objectives=lambda r: (r.accuracy, r.unfairness),
+            maximise=(True, False),
+        )
+
+    def pareto_reward_size(self) -> List[EpisodeRecord]:
+        """Non-dominated episodes in (reward up, model size down) -- Figure 5(a)."""
+        valid = [r for r in self.valid_records() if r.trained]
+        return pareto_frontier(
+            valid,
+            objectives=lambda r: (r.reward, r.num_parameters),
+            maximise=(True, False),
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Run-level summary used by the Table 2 harness."""
+        best = self.best_record()
+        return {
+            "episodes": float(len(self.records)),
+            "valid_ratio": self.valid_ratio(),
+            "space_size": self.space_size,
+            "full_space_size": self.full_space_size,
+            "total_seconds": self.total_seconds,
+            "best_reward": best.reward if best else INVALID_REWARD,
+            "frozen_blocks": float(self.frozen_blocks),
+            "searchable_blocks": float(self.searchable_blocks),
+        }

@@ -1,0 +1,59 @@
+"""The FaHaNa reward function (Equation 1).
+
+    R = alpha * A(f, D) - beta * U(f, D)   if L(H, N) <= TC and A(f, D) >= AC
+    R = -1                                 otherwise
+
+``alpha`` and ``beta`` trade accuracy against fairness; the paper sets both
+to 1.  Children that violate the hardware (latency) specification are never
+trained -- the evaluator assigns the -1 reward directly, which is the first
+half of FaHaNa's search acceleration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+INVALID_REWARD = -1.0
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Weights and constraints of the reward."""
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    accuracy_constraint: float = 0.0
+    timing_constraint_ms: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+        if not 0.0 <= self.accuracy_constraint <= 1.0:
+            raise ValueError("accuracy_constraint must be in [0, 1]")
+        if self.timing_constraint_ms <= 0:
+            raise ValueError("timing_constraint_ms must be positive")
+
+
+def compute_reward(
+    accuracy: float,
+    unfairness: float,
+    latency_ms: float,
+    config: RewardConfig,
+) -> float:
+    """Evaluate Equation 1 for one child network."""
+    if not 0.0 <= accuracy <= 1.0:
+        raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+    if unfairness < 0:
+        raise ValueError(f"unfairness must be non-negative, got {unfairness}")
+    if latency_ms < 0:
+        raise ValueError(f"latency must be non-negative, got {latency_ms}")
+    if latency_ms > config.timing_constraint_ms:
+        return INVALID_REWARD
+    if accuracy < config.accuracy_constraint:
+        return INVALID_REWARD
+    return config.alpha * accuracy - config.beta * unfairness
+
+
+def reward_is_valid(reward: float) -> bool:
+    """Whether a reward corresponds to a specification-satisfying child."""
+    return reward > INVALID_REWARD

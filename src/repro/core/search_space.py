@@ -1,0 +1,167 @@
+"""Block-based search space.
+
+For every searchable position the controller makes four decisions:
+
+1. block type -- MB/RB/CB at stride-2 positions, DB/RB/CB/SKIP at stride-1
+   positions (MB and DB are the stride-2 / stride-1 inverted residuals, so
+   the stride schedule of the backbone is preserved),
+2. kernel size K,
+3. intermediate channel count CH2,
+4. output channel count CH3.
+
+CH1 of a block is always the CH3 of its predecessor, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.blocks.spec import BlockSpec
+
+
+@dataclass(frozen=True)
+class SearchPosition:
+    """One searchable slot in the backbone.
+
+    ``stride`` is inherited from the backbone block being replaced and
+    ``input_resolution`` is the feature-map size entering the slot (needed by
+    the latency table).
+    """
+
+    index: int
+    stride: int
+    input_resolution: int
+
+    def __post_init__(self) -> None:
+        if self.stride not in (1, 2):
+            raise ValueError("stride must be 1 or 2")
+        if self.input_resolution <= 0:
+            raise ValueError("input_resolution must be positive")
+
+
+@dataclass(frozen=True)
+class BlockDecision:
+    """The controller's four decisions for one position."""
+
+    block_type: str
+    kernel: int
+    ch_mid: int
+    ch_out: int
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Enumerates the per-decision choice lists."""
+
+    stride2_types: Tuple[str, ...] = ("MB", "RB", "CB")
+    stride1_types: Tuple[str, ...] = ("DB", "RB", "CB", "SKIP")
+    kernel_choices: Tuple[int, ...] = (3, 5)
+    ch_mid_choices: Tuple[int, ...] = (32, 64, 128, 256, 384)
+    ch_out_choices: Tuple[int, ...] = (32, 64, 96, 128, 192, 256)
+
+    DECISIONS_PER_BLOCK = 4
+
+    def __post_init__(self) -> None:
+        if not self.stride2_types or not self.stride1_types:
+            raise ValueError("type choice lists must not be empty")
+        if "SKIP" in self.stride2_types:
+            raise ValueError("stride-2 positions cannot be skipped (spatial size must shrink)")
+        if not self.kernel_choices or not self.ch_mid_choices or not self.ch_out_choices:
+            raise ValueError("choice lists must not be empty")
+
+    # -- vocabularies -----------------------------------------------------------
+    def type_choices(self, stride: int) -> Tuple[str, ...]:
+        """Block-type vocabulary for a position of the given stride."""
+        return self.stride2_types if stride == 2 else self.stride1_types
+
+    def decision_sizes(self, stride: int) -> Tuple[int, int, int, int]:
+        """Vocabulary sizes of the four decisions at a position."""
+        return (
+            len(self.type_choices(stride)),
+            len(self.kernel_choices),
+            len(self.ch_mid_choices),
+            len(self.ch_out_choices),
+        )
+
+    def max_decision_size(self) -> int:
+        """Largest vocabulary across all decisions (controller embedding size)."""
+        return max(
+            len(self.stride2_types),
+            len(self.stride1_types),
+            len(self.kernel_choices),
+            len(self.ch_mid_choices),
+            len(self.ch_out_choices),
+        )
+
+    def position_cardinality(self, stride: int) -> int:
+        """Number of distinct blocks expressible at one position."""
+        sizes = self.decision_sizes(stride)
+        return sizes[0] * sizes[1] * sizes[2] * sizes[3]
+
+    def space_size(self, positions: Sequence[SearchPosition]) -> float:
+        """Total number of candidate networks for the given positions."""
+        total = 1.0
+        for position in positions:
+            total *= self.position_cardinality(position.stride)
+        return total
+
+    # -- decision decoding --------------------------------------------------------
+    def decode(self, stride: int, indices: Sequence[int]) -> BlockDecision:
+        """Turn the controller's four index choices into a :class:`BlockDecision`."""
+        if len(indices) != self.DECISIONS_PER_BLOCK:
+            raise ValueError(
+                f"expected {self.DECISIONS_PER_BLOCK} decision indices, got {len(indices)}"
+            )
+        types = self.type_choices(stride)
+        type_idx, kernel_idx, mid_idx, out_idx = indices
+        if not 0 <= type_idx < len(types):
+            raise ValueError(f"type index {type_idx} out of range")
+        if not 0 <= kernel_idx < len(self.kernel_choices):
+            raise ValueError(f"kernel index {kernel_idx} out of range")
+        if not 0 <= mid_idx < len(self.ch_mid_choices):
+            raise ValueError(f"ch_mid index {mid_idx} out of range")
+        if not 0 <= out_idx < len(self.ch_out_choices):
+            raise ValueError(f"ch_out index {out_idx} out of range")
+        return BlockDecision(
+            block_type=types[type_idx],
+            kernel=self.kernel_choices[kernel_idx],
+            ch_mid=self.ch_mid_choices[mid_idx],
+            ch_out=self.ch_out_choices[out_idx],
+        )
+
+    def to_block_spec(
+        self, decision: BlockDecision, ch_in: int, stride: int
+    ) -> BlockSpec:
+        """Materialise a :class:`BlockSpec` given the incoming channel count."""
+        if decision.block_type == "SKIP":
+            return BlockSpec("SKIP", ch_in, ch_in, ch_in)
+        block_type = decision.block_type
+        # MB/DB selection is implied by the position's stride.
+        if block_type in ("MB", "DB"):
+            block_type = "MB" if stride == 2 else "DB"
+        return BlockSpec(
+            block_type=block_type,
+            ch_in=ch_in,
+            ch_mid=decision.ch_mid,
+            ch_out=decision.ch_out,
+            kernel=decision.kernel,
+            stride=stride,
+        )
+
+    def decisions_to_specs(
+        self,
+        positions: Sequence[SearchPosition],
+        decisions: Sequence[BlockDecision],
+        ch_in: int,
+    ) -> List[BlockSpec]:
+        """Chain decisions into block specs, threading CH3 -> CH1."""
+        if len(positions) != len(decisions):
+            raise ValueError("positions and decisions must have the same length")
+        specs: List[BlockSpec] = []
+        current = ch_in
+        for position, decision in zip(positions, decisions):
+            spec = self.to_block_spec(decision, current, position.stride)
+            specs.append(spec)
+            current = spec.ch_in if spec.block_type == "SKIP" else spec.ch_out
+        return specs

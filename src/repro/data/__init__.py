@@ -1,0 +1,51 @@
+"""Dermatology data substrate.
+
+The paper evaluates on a dermatology dataset assembled from ISIC 2019
+(light-skin majority) plus Dermnet and Atlas dermatology (dark-skin
+minority), labelled with five diseases.  Those images are not available in
+this environment, so :mod:`repro.data.dermatology` generates a synthetic
+stand-in that preserves the properties the paper's experiments rely on:
+
+* a 5-way classification task,
+* two demographic groups (light / dark skin tone) with a configurable
+  majority / minority imbalance,
+* group-dependent difficulty (lower lesion contrast on dark skin), so that
+  accuracy is group-dependent and fairness depends on model capacity.
+"""
+
+from repro.data.dataset import (
+    GroupedDataset,
+    DatasetSplits,
+    GROUP_LIGHT,
+    GROUP_DARK,
+    stratified_split,
+)
+from repro.data.dermatology import (
+    DermatologyConfig,
+    DermatologyGenerator,
+    DISEASE_CLASSES,
+    generate_dermatology_dataset,
+)
+from repro.data.balancing import balance_minority, oversample_minority
+from repro.data.transforms import (
+    normalize_images,
+    random_horizontal_flip,
+    brightness_jitter,
+)
+
+__all__ = [
+    "GroupedDataset",
+    "DatasetSplits",
+    "GROUP_LIGHT",
+    "GROUP_DARK",
+    "stratified_split",
+    "oversample_minority",
+    "brightness_jitter",
+    "DermatologyConfig",
+    "DermatologyGenerator",
+    "DISEASE_CLASSES",
+    "generate_dermatology_dataset",
+    "balance_minority",
+    "normalize_images",
+    "random_horizontal_flip",
+]

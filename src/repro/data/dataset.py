@@ -1,0 +1,158 @@
+"""Grouped dataset container and splitting utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+GROUP_LIGHT = "light"
+GROUP_DARK = "dark"
+
+
+@dataclass
+class GroupedDataset:
+    """Images with class labels and demographic group labels.
+
+    ``images`` has shape (N, 3, H, W) in [0, 1]; ``labels`` holds class
+    indices and ``groups`` holds group indices into ``group_names``.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    groups: np.ndarray
+    group_names: Tuple[str, ...] = (GROUP_LIGHT, GROUP_DARK)
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.groups = np.asarray(self.groups, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise ValueError(f"images must be 4-D (N, C, H, W), got {self.images.shape}")
+        n = self.images.shape[0]
+        if self.labels.shape != (n,) or self.groups.shape != (n,):
+            raise ValueError("labels and groups must match the number of images")
+        if self.groups.size and (
+            self.groups.min() < 0 or self.groups.max() >= len(self.group_names)
+        ):
+            raise ValueError("group indices out of range")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    @property
+    def image_size(self) -> int:
+        return int(self.images.shape[-1])
+
+    def subset(self, indices: Sequence[int]) -> "GroupedDataset":
+        """Return a new dataset restricted to ``indices``."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return GroupedDataset(
+            images=self.images[idx],
+            labels=self.labels[idx],
+            groups=self.groups[idx],
+            group_names=self.group_names,
+        )
+
+    def group_indices(self, group: str) -> np.ndarray:
+        """Indices of every sample belonging to ``group``."""
+        if group not in self.group_names:
+            raise KeyError(f"unknown group {group!r}; known: {self.group_names}")
+        group_id = self.group_names.index(group)
+        return np.nonzero(self.groups == group_id)[0]
+
+    def group_counts(self) -> Dict[str, int]:
+        """Number of samples per group."""
+        return {
+            name: int((self.groups == index).sum())
+            for index, name in enumerate(self.group_names)
+        }
+
+    def minority_group(self) -> str:
+        """Name of the smallest group (the paper's dark-skin group)."""
+        counts = self.group_counts()
+        return min(counts, key=counts.get)
+
+    def majority_group(self) -> str:
+        """Name of the largest group (the paper's light-skin group)."""
+        counts = self.group_counts()
+        return max(counts, key=counts.get)
+
+    def concatenate(self, other: "GroupedDataset") -> "GroupedDataset":
+        """Append ``other`` (used by the data-balancing pipeline)."""
+        if other.group_names != self.group_names:
+            raise ValueError("cannot concatenate datasets with different groups")
+        if other.images.shape[1:] != self.images.shape[1:]:
+            raise ValueError("cannot concatenate datasets with different image shapes")
+        return GroupedDataset(
+            images=np.concatenate([self.images, other.images]),
+            labels=np.concatenate([self.labels, other.labels]),
+            groups=np.concatenate([self.groups, other.groups]),
+            group_names=self.group_names,
+        )
+
+    def shuffled(self, rng: SeedLike = None) -> "GroupedDataset":
+        """Return a copy with samples in random order."""
+        order = new_rng(rng).permutation(len(self))
+        return self.subset(order)
+
+
+@dataclass
+class DatasetSplits:
+    """Train / validation / test partition of a :class:`GroupedDataset`."""
+
+    train: GroupedDataset
+    validation: GroupedDataset
+    test: GroupedDataset
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        return (len(self.train), len(self.validation), len(self.test))
+
+
+def stratified_split(
+    dataset: GroupedDataset,
+    train_fraction: float = 0.6,
+    validation_fraction: float = 0.2,
+    rng: SeedLike = 0,
+) -> DatasetSplits:
+    """Split 60/20/20 as in the paper, stratified by (class, group).
+
+    Stratification guarantees that every split contains samples of every
+    class-group combination whenever the source dataset does, which keeps the
+    per-group accuracy (and therefore the unfairness score) well defined on
+    the validation and test sets.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    if not 0.0 < validation_fraction < 1.0 - train_fraction:
+        raise ValueError("validation_fraction leaves no room for a test split")
+    generator = new_rng(rng)
+    train_idx: List[int] = []
+    val_idx: List[int] = []
+    test_idx: List[int] = []
+    for class_id in np.unique(dataset.labels):
+        for group_id in np.unique(dataset.groups):
+            mask = (dataset.labels == class_id) & (dataset.groups == group_id)
+            indices = np.nonzero(mask)[0]
+            if indices.size == 0:
+                continue
+            generator.shuffle(indices)
+            n_train = max(1, int(round(indices.size * train_fraction)))
+            n_val = max(1, int(round(indices.size * validation_fraction)))
+            n_train = min(n_train, indices.size - 2) if indices.size >= 3 else n_train
+            train_idx.extend(indices[:n_train].tolist())
+            val_idx.extend(indices[n_train : n_train + n_val].tolist())
+            test_idx.extend(indices[n_train + n_val :].tolist())
+    return DatasetSplits(
+        train=dataset.subset(train_idx),
+        validation=dataset.subset(val_idx),
+        test=dataset.subset(test_idx),
+    )

@@ -1,0 +1,271 @@
+"""Synthetic dermatology image generator.
+
+Substitute for the paper's dermatology dataset (ISIC 2019 light-skin images
+plus Dermnet / Atlas dermatology dark-skin images, 5 disease classes).  Each
+image is a skin-toned background with a class-dependent lesion pattern:
+
+* Melanoma -- large, irregular, asymmetric dark blob,
+* Melanocytic nevus -- small, round, well-delimited dark blob,
+* Basal cell carcinoma -- ring-shaped (rolled border) lesion,
+* Dermatofibroma -- small bright papule with a darker halo,
+* Squamous cell carcinoma -- scaly, high-frequency textured patch.
+
+Group difficulty: dark-skin images use a darker base tone *and* a reduced
+lesion contrast, which makes the minority group intrinsically harder; trained
+on a majority-dominated dataset, small-capacity models give up accuracy on
+the minority first.  This reproduces the fairness-versus-capacity behaviour
+that the paper's Figures 1 and 2 measure on real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import GROUP_DARK, GROUP_LIGHT, GroupedDataset
+from repro.utils.rng import SeedLike, new_rng
+
+DISEASE_CLASSES: Tuple[str, ...] = (
+    "Melanoma",
+    "Melanocytic nevus",
+    "Basal cell carcinoma",
+    "Dermatofibroma",
+    "Squamous cell carcinoma",
+)
+
+# Mean RGB skin tones per group (fractions of full scale).
+_LIGHT_TONE = np.array([0.82, 0.66, 0.58])
+_DARK_TONE = np.array([0.42, 0.30, 0.24])
+# Lesion pigment colour (melanin-rich brown).
+_LESION_TONE = np.array([0.28, 0.17, 0.12])
+
+
+@dataclass(frozen=True)
+class DermatologyConfig:
+    """Parameters of the synthetic dataset.
+
+    ``samples_per_class_majority`` controls the light-skin volume per class;
+    the dark-skin volume is ``minority_fraction`` of it (the paper's dataset
+    has far fewer dark-skin images).  ``dark_contrast`` scales the lesion
+    contrast on dark skin and is the main difficulty knob.
+    """
+
+    image_size: int = 32
+    num_classes: int = 5
+    samples_per_class_majority: int = 60
+    minority_fraction: float = 0.2
+    dark_contrast: float = 0.55
+    light_contrast: float = 1.0
+    noise_std: float = 0.05
+    tone_jitter: float = 0.06
+    seed: int = 2022
+
+    def __post_init__(self) -> None:
+        if self.image_size < 8:
+            raise ValueError("image_size must be at least 8")
+        if not 1 <= self.num_classes <= len(DISEASE_CLASSES):
+            raise ValueError(
+                f"num_classes must be in [1, {len(DISEASE_CLASSES)}]"
+            )
+        if self.samples_per_class_majority <= 0:
+            raise ValueError("samples_per_class_majority must be positive")
+        if not 0.0 < self.minority_fraction <= 1.0:
+            raise ValueError("minority_fraction must be in (0, 1]")
+        if not 0.0 < self.dark_contrast <= 1.5:
+            raise ValueError("dark_contrast must be in (0, 1.5]")
+
+    @property
+    def samples_per_class_minority(self) -> int:
+        return max(1, int(round(self.samples_per_class_majority * self.minority_fraction)))
+
+
+class DermatologyGenerator:
+    """Generates :class:`GroupedDataset` instances from a configuration."""
+
+    def __init__(self, config: Optional[DermatologyConfig] = None):
+        self.config = config or DermatologyConfig()
+        size = self.config.image_size
+        ys, xs = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+        self._ys = ys.astype(np.float64)
+        self._xs = xs.astype(np.float64)
+
+    # -- public API -----------------------------------------------------------
+    def generate(self, rng: SeedLike = None) -> GroupedDataset:
+        """Generate the full dataset (majority light skin, minority dark skin)."""
+        generator = new_rng(self.config.seed if rng is None else rng)
+        images: List[np.ndarray] = []
+        labels: List[int] = []
+        groups: List[int] = []
+        for class_id in range(self.config.num_classes):
+            for _ in range(self.config.samples_per_class_majority):
+                images.append(self._render(class_id, GROUP_LIGHT, generator))
+                labels.append(class_id)
+                groups.append(0)
+            for _ in range(self.config.samples_per_class_minority):
+                images.append(self._render(class_id, GROUP_DARK, generator))
+                labels.append(class_id)
+                groups.append(1)
+        dataset = GroupedDataset(
+            images=np.stack(images),
+            labels=np.array(labels),
+            groups=np.array(groups),
+        )
+        return dataset.shuffled(generator)
+
+    def generate_group(
+        self,
+        group: str,
+        samples_per_class: int,
+        rng: SeedLike = None,
+    ) -> GroupedDataset:
+        """Generate extra samples of a single group (used by data balancing)."""
+        if group not in (GROUP_LIGHT, GROUP_DARK):
+            raise ValueError(f"unknown group {group!r}")
+        generator = new_rng(rng)
+        images: List[np.ndarray] = []
+        labels: List[int] = []
+        for class_id in range(self.config.num_classes):
+            for _ in range(samples_per_class):
+                images.append(self._render(class_id, group, generator))
+                labels.append(class_id)
+        group_id = 0 if group == GROUP_LIGHT else 1
+        return GroupedDataset(
+            images=np.stack(images),
+            labels=np.array(labels),
+            groups=np.full(len(labels), group_id),
+        )
+
+    # -- rendering --------------------------------------------------------------
+    def _render(self, class_id: int, group: str, rng: np.random.Generator) -> np.ndarray:
+        config = self.config
+        size = config.image_size
+        tone = _LIGHT_TONE if group == GROUP_LIGHT else _DARK_TONE
+        contrast = (
+            config.light_contrast if group == GROUP_LIGHT else config.dark_contrast
+        )
+        jitter = rng.normal(0.0, config.tone_jitter, size=3)
+        base = np.clip(tone + jitter, 0.05, 0.95)
+        image = np.broadcast_to(base[:, None, None], (3, size, size)).copy()
+        # Low-frequency skin texture.
+        image += self._smooth_noise(rng, scale=0.03)
+
+        lesion_delta = self._lesion_delta(class_id, rng)
+        image += contrast * lesion_delta
+        image += rng.normal(0.0, config.noise_std, size=image.shape)
+        return np.clip(image, 0.0, 1.0)
+
+    def _lesion_delta(self, class_id: int, rng: np.random.Generator) -> np.ndarray:
+        """Class-dependent additive lesion pattern of shape (3, H, W)."""
+        size = self.config.image_size
+        center_y = rng.uniform(0.35, 0.65) * size
+        center_x = rng.uniform(0.35, 0.65) * size
+        dy = self._ys - center_y
+        dx = self._xs - center_x
+
+        if class_id == 0:
+            mask = self._irregular_blob(dy, dx, rng, radius=0.30 * size, jaggedness=0.45)
+            strength = rng.uniform(0.9, 1.1)
+        elif class_id == 1:
+            mask = self._irregular_blob(dy, dx, rng, radius=0.12 * size, jaggedness=0.08)
+            strength = rng.uniform(0.8, 1.0)
+        elif class_id == 2:
+            mask = self._ring(dy, dx, rng, radius=0.22 * size, width=0.07 * size)
+            strength = rng.uniform(0.8, 1.0)
+        elif class_id == 3:
+            return self._papule(dy, dx, rng, radius=0.10 * size)
+        else:
+            mask = self._scaly_patch(dy, dx, rng, radius=0.26 * size)
+            strength = rng.uniform(0.7, 0.9)
+
+        direction = _LESION_TONE - _LIGHT_TONE  # darkening towards lesion pigment
+        return strength * mask[None, :, :] * direction[:, None, None]
+
+    # -- pattern primitives -------------------------------------------------------
+    def _irregular_blob(
+        self,
+        dy: np.ndarray,
+        dx: np.ndarray,
+        rng: np.random.Generator,
+        radius: float,
+        jaggedness: float,
+    ) -> np.ndarray:
+        angle = np.arctan2(dy, dx)
+        elongation = rng.uniform(1.0, 1.0 + 4.0 * jaggedness)
+        rotation = rng.uniform(0, np.pi)
+        rotated_x = dx * np.cos(rotation) + dy * np.sin(rotation)
+        rotated_y = -dx * np.sin(rotation) + dy * np.cos(rotation)
+        distance = np.sqrt((rotated_x / elongation) ** 2 + rotated_y**2)
+        phase = rng.uniform(0, 2 * np.pi, size=3)
+        amplitude = rng.uniform(0.0, jaggedness, size=3)
+        boundary = radius * (
+            1.0
+            + amplitude[0] * np.sin(2 * angle + phase[0])
+            + amplitude[1] * np.sin(3 * angle + phase[1])
+            + amplitude[2] * np.sin(5 * angle + phase[2])
+        )
+        softness = max(1.0, 0.15 * radius)
+        return 1.0 / (1.0 + np.exp((distance - boundary) / softness))
+
+    def _ring(
+        self,
+        dy: np.ndarray,
+        dx: np.ndarray,
+        rng: np.random.Generator,
+        radius: float,
+        width: float,
+    ) -> np.ndarray:
+        distance = np.sqrt(dx**2 + dy**2)
+        ring_radius = radius * rng.uniform(0.9, 1.1)
+        ring = np.exp(-((distance - ring_radius) ** 2) / (2 * max(width, 1.0) ** 2))
+        return ring
+
+    def _papule(
+        self,
+        dy: np.ndarray,
+        dx: np.ndarray,
+        rng: np.random.Generator,
+        radius: float,
+    ) -> np.ndarray:
+        distance2 = dx**2 + dy**2
+        sigma = max(radius, 1.0)
+        bump = np.exp(-distance2 / (2 * sigma**2))
+        halo = np.exp(-distance2 / (2 * (2.2 * sigma) ** 2)) - bump
+        brighten = np.array([0.18, 0.16, 0.14])
+        darken = 0.8 * (_LESION_TONE - _LIGHT_TONE)
+        return (
+            bump[None, :, :] * brighten[:, None, None]
+            + np.clip(halo, 0.0, None)[None, :, :] * darken[:, None, None]
+        )
+
+    def _scaly_patch(
+        self,
+        dy: np.ndarray,
+        dx: np.ndarray,
+        rng: np.random.Generator,
+        radius: float,
+    ) -> np.ndarray:
+        distance = np.sqrt(dx**2 + dy**2)
+        softness = max(1.0, 0.2 * radius)
+        region = 1.0 / (1.0 + np.exp((distance - radius) / softness))
+        frequency = rng.uniform(0.8, 1.4)
+        texture = 0.5 + 0.5 * np.sin(frequency * self._xs) * np.sin(frequency * self._ys)
+        speckle = rng.random(dx.shape) < 0.35
+        return region * (0.55 + 0.45 * texture) * (0.7 + 0.6 * speckle)
+
+    def _smooth_noise(self, rng: np.random.Generator, scale: float) -> np.ndarray:
+        size = self.config.image_size
+        coarse = rng.normal(0.0, scale, size=(3, max(2, size // 8), max(2, size // 8)))
+        # Nearest-neighbour upsample to full resolution.
+        reps_h = int(np.ceil(size / coarse.shape[1]))
+        reps_w = int(np.ceil(size / coarse.shape[2]))
+        upsampled = np.repeat(np.repeat(coarse, reps_h, axis=1), reps_w, axis=2)
+        return upsampled[:, :size, :size]
+
+
+def generate_dermatology_dataset(
+    config: Optional[DermatologyConfig] = None, rng: SeedLike = None
+) -> GroupedDataset:
+    """Convenience wrapper: build a generator and produce the dataset."""
+    return DermatologyGenerator(config).generate(rng)

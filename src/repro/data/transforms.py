@@ -1,0 +1,54 @@
+"""Simple image transforms used by the training pipelines."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def normalize_images(
+    images: np.ndarray,
+    mean: Optional[np.ndarray] = None,
+    std: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Standardise images per channel.
+
+    Returns ``(normalised, mean, std)`` so that the statistics computed on the
+    training set can be re-applied to validation / test data.
+    """
+    if images.ndim != 4:
+        raise ValueError(f"expected (N, C, H, W) images, got shape {images.shape}")
+    if mean is None:
+        mean = images.mean(axis=(0, 2, 3))
+    if std is None:
+        std = images.std(axis=(0, 2, 3))
+    std = np.where(std < 1e-6, 1.0, std)
+    normalised = (images - mean[None, :, None, None]) / std[None, :, None, None]
+    return normalised, mean, std
+
+
+def random_horizontal_flip(
+    images: np.ndarray, probability: float = 0.5, rng: SeedLike = None
+) -> np.ndarray:
+    """Flip a random subset of images left-right (data augmentation)."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    generator = new_rng(rng)
+    flip_mask = generator.random(images.shape[0]) < probability
+    augmented = images.copy()
+    augmented[flip_mask] = augmented[flip_mask][:, :, :, ::-1]
+    return augmented
+
+
+def brightness_jitter(
+    images: np.ndarray, magnitude: float = 0.1, rng: SeedLike = None
+) -> np.ndarray:
+    """Add a per-image brightness offset (kept inside [0, 1])."""
+    if magnitude < 0:
+        raise ValueError("magnitude must be non-negative")
+    generator = new_rng(rng)
+    offsets = generator.uniform(-magnitude, magnitude, size=(images.shape[0], 1, 1, 1))
+    return np.clip(images + offsets, 0.0, 1.0)

@@ -1,0 +1,17 @@
+"""Experiment harnesses: one module per table / figure of the paper.
+
+Every module exposes a ``run(preset=..., seed=...)`` function returning a
+result dataclass and a ``render(result)`` helper that prints rows comparable
+to the published table or figure.  ``repro.experiments.runner.run_all``
+executes everything at a chosen scale preset.
+"""
+
+from repro.experiments.presets import ScalePreset, get_preset, list_presets
+from repro.experiments import paper_values
+
+__all__ = [
+    "ScalePreset",
+    "get_preset",
+    "list_presets",
+    "paper_values",
+]

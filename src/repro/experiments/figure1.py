@@ -1,0 +1,118 @@
+"""Figure 1: fairness versus model size on existing neural networks.
+
+(a) larger networks within / across families have lower unfairness scores;
+(b) even trained with several times more minority data, a small network
+(MnasNet 0.5) remains less fair than a large one (ResNet-18) without extra
+data -- the architecture matters at least as much as data balancing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.experiments import paper_values
+from repro.experiments.common import (
+    ArchitectureEvaluation,
+    evaluate_architecture,
+    prepare_data,
+)
+from repro.experiments.presets import ScalePreset, get_preset
+from repro.utils.tabulate import format_table
+
+# Networks of Figure 1(a), ordered by model size.
+FIGURE1A_NETWORKS: List[str] = [
+    "MnasNet 0.5",
+    "MobileNetV3(S)",
+    "MobileNetV2",
+    "ProxylessNAS(M)",
+    "MnasNet 1.0",
+    "ProxylessNAS(G)",
+    "ResNet-18",
+]
+
+# Minority-data multipliers of Figure 1(b).
+FIGURE1B_MULTIPLIERS: List[float] = [1.0, 2.0, 3.0, 5.0]
+
+
+@dataclass
+class Figure1Result:
+    """Both panels of Figure 1."""
+
+    size_fairness: List[ArchitectureEvaluation]
+    minority_sweep: Dict[float, ArchitectureEvaluation]
+    reference_large: ArchitectureEvaluation
+    preset_name: str
+
+
+def run(preset: ScalePreset = None, seed: int = 0) -> Figure1Result:
+    """Reproduce Figure 1 at the chosen scale."""
+    preset = preset or get_preset("ci")
+    evaluations = [
+        evaluate_architecture(name, preset, seed) for name in FIGURE1A_NETWORKS
+    ]
+
+    sweep: Dict[float, ArchitectureEvaluation] = {}
+    for multiplier in FIGURE1B_MULTIPLIERS:
+        data = prepare_data(preset, seed, minority_multiplier=multiplier)
+        sweep[multiplier] = evaluate_architecture(
+            "MnasNet 0.5", preset, seed, data=data, cache_tag=f"minority{multiplier}"
+        )
+    reference_large = evaluate_architecture("ResNet-18", preset, seed)
+    return Figure1Result(
+        size_fairness=evaluations,
+        minority_sweep=sweep,
+        reference_large=reference_large,
+        preset_name=preset.name,
+    )
+
+
+def render(result: Figure1Result) -> str:
+    """Print the series behind both panels, with the paper's values alongside."""
+    rows = []
+    for evaluation in sorted(result.size_fairness, key=lambda e: e.params):
+        paper = paper_values.TABLE3.get(evaluation.name, {})
+        rows.append(
+            [
+                evaluation.name,
+                f"{evaluation.params / 1e6:.2f}M",
+                f"{evaluation.unfairness:.4f}",
+                f"{paper.get('unfairness', float('nan')):.4f}",
+            ]
+        )
+    part_a = format_table(
+        ["model", "size", "unfairness (repro)", "unfairness (paper)"], rows
+    )
+
+    rows_b = []
+    for multiplier, evaluation in sorted(result.minority_sweep.items()):
+        rows_b.append(
+            [
+                f"MnasNet 0.5 @ {multiplier:g}x minority",
+                f"{evaluation.unfairness:.4f}",
+                f"{evaluation.accuracy:.2%}",
+            ]
+        )
+    rows_b.append(
+        [
+            "ResNet-18 (no balancing)",
+            f"{result.reference_large.unfairness:.4f}",
+            f"{result.reference_large.accuracy:.2%}",
+        ]
+    )
+    part_b = format_table(["configuration", "unfairness", "accuracy"], rows_b)
+    return (
+        "Figure 1(a): unfairness vs model size\n"
+        + part_a
+        + "\n\nFigure 1(b): unfairness vs minority-data volume\n"
+        + part_b
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run()
+    print(render(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,72 @@
+"""Figure 2: neural architectures affect fairness.
+
+Per-architecture majority (light-skin) and minority (dark-skin) accuracy bars
+plus the unfairness-score line across the competitor networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments import paper_values
+from repro.experiments.common import ArchitectureEvaluation, evaluate_architecture
+from repro.experiments.presets import ScalePreset, get_preset
+from repro.utils.tabulate import format_table
+
+FIGURE2_NETWORKS: List[str] = [
+    "MnasNet 0.5",
+    "ProxylessNAS(M)",
+    "MobileNetV3(S)",
+    "ProxylessNAS(G)",
+    "MnasNet 1.0",
+    "MobileNetV2",
+    "ResNet-18",
+]
+
+
+@dataclass
+class Figure2Result:
+    """Per-architecture group accuracies and unfairness."""
+
+    evaluations: List[ArchitectureEvaluation]
+    preset_name: str
+
+
+def run(preset: ScalePreset = None, seed: int = 0) -> Figure2Result:
+    """Reproduce Figure 2 at the chosen scale."""
+    preset = preset or get_preset("ci")
+    evaluations = [
+        evaluate_architecture(name, preset, seed) for name in FIGURE2_NETWORKS
+    ]
+    return Figure2Result(evaluations=evaluations, preset_name=preset.name)
+
+
+def render(result: Figure2Result) -> str:
+    """Rows comparable to the Figure 2 bars/line."""
+    rows = []
+    for evaluation in result.evaluations:
+        paper_unfairness = paper_values.FIGURE2_UNFAIRNESS.get(
+            evaluation.name, float("nan")
+        )
+        rows.append(
+            [
+                evaluation.name,
+                f"{evaluation.light_accuracy:.2%}",
+                f"{evaluation.dark_accuracy:.2%}",
+                f"{evaluation.unfairness:.4f}",
+                f"{paper_unfairness:.4f}",
+            ]
+        )
+    return "Figure 2: per-group accuracy and unfairness\n" + format_table(
+        ["model", "light acc", "dark acc", "unfairness (repro)", "unfairness (paper)"],
+        rows,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,122 @@
+"""Figure 5: FaHaNa-Nets push the Pareto frontier forward.
+
+Runs the FaHaNa search and compares the discovered networks against the
+existing zoo in two projections: (a) best reward versus model size and
+(b) unfairness versus accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.api import default_design_spec, run_fahana_search
+from repro.core.fahana import FaHaNaResult
+from repro.core.results import EpisodeRecord
+from repro.experiments.common import ArchitectureEvaluation, evaluate_architecture, prepare_data
+from repro.experiments.presets import ScalePreset, get_preset
+from repro.utils.pareto import pareto_frontier
+from repro.utils.tabulate import format_table
+
+COMPARISON_NETWORKS: List[str] = [
+    "MnasNet 0.5",
+    "MobileNetV3(S)",
+    "MobileNetV2",
+    "ProxylessNAS(M)",
+    "MnasNet 1.0",
+]
+
+
+@dataclass
+class Figure5Result:
+    """Search outcome plus the existing-network reference points."""
+
+    search: FaHaNaResult
+    existing: List[ArchitectureEvaluation]
+    preset_name: str
+
+    def fahana_points(self) -> List[Tuple[float, float, float]]:
+        """(params, reward, unfairness) of every trained, valid FaHaNa child."""
+        return [
+            (float(r.num_parameters), r.reward, r.unfairness)
+            for r in self.search.history.valid_records()
+            if r.trained
+        ]
+
+    def pareto_records(self) -> List[EpisodeRecord]:
+        return self.search.history.pareto_reward_size()
+
+
+def run(
+    preset: ScalePreset = None,
+    seed: int = 0,
+    episodes: Optional[int] = None,
+    timing_constraint_ms: float = 1500.0,
+) -> Figure5Result:
+    """Reproduce Figure 5 at the chosen scale."""
+    preset = preset or get_preset("ci")
+    data = prepare_data(preset, seed)
+    search = run_fahana_search(
+        data.splits.train,
+        data.splits.validation,
+        default_design_spec(timing_constraint_ms=timing_constraint_ms),
+        episodes=episodes or preset.search_episodes,
+        width_multiplier=preset.width_multiplier,
+        child_epochs=preset.child_epochs,
+        pretrain_epochs=preset.pretrain_epochs,
+        max_searchable=preset.max_searchable,
+        seed=seed,
+    )
+    existing = [
+        evaluate_architecture(name, preset, seed) for name in COMPARISON_NETWORKS
+    ]
+    return Figure5Result(search=search, existing=existing, preset_name=preset.name)
+
+
+def render(result: Figure5Result) -> str:
+    """The two scatter series of Figure 5 as tables."""
+    rows_a = []
+    for record in sorted(result.pareto_records(), key=lambda r: r.num_parameters):
+        rows_a.append(
+            [
+                f"FaHaNa ep{record.episode}",
+                f"{record.num_parameters / 1e6:.2f}M",
+                f"{record.reward:.4f}",
+                f"{record.unfairness:.4f}",
+            ]
+        )
+    for evaluation in result.existing:
+        rows_a.append(
+            [
+                evaluation.name,
+                f"{evaluation.params / 1e6:.2f}M",
+                f"{evaluation.reward:.4f}",
+                f"{evaluation.unfairness:.4f}",
+            ]
+        )
+    table_a = format_table(["network", "size", "reward", "unfairness"], rows_a)
+
+    rows_b = []
+    for record in result.search.history.pareto_accuracy_fairness():
+        rows_b.append(
+            ["FaHaNa", f"{record.accuracy:.2%}", f"{record.unfairness:.4f}"]
+        )
+    for evaluation in result.existing:
+        rows_b.append(
+            [evaluation.name, f"{evaluation.accuracy:.2%}", f"{evaluation.unfairness:.4f}"]
+        )
+    table_b = format_table(["network", "accuracy", "unfairness"], rows_b)
+    return (
+        "Figure 5(a): reward vs model size (Pareto points + existing networks)\n"
+        + table_a
+        + "\n\nFigure 5(b): unfairness vs accuracy\n"
+        + table_b
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,81 @@
+"""Figure 6: accuracy/unfairness Pareto frontiers for groups G1 and G2.
+
+Re-uses the Table 3 evaluations and extracts the non-dominated set in
+(accuracy up, unfairness down) per group, showing whether the FaHaNa nets sit
+on (and extend) the frontier as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.presets import ScalePreset, get_preset
+from repro.experiments.table3 import Table3Result, Table3Row, run as run_table3
+from repro.utils.pareto import pareto_frontier
+from repro.utils.tabulate import format_table
+
+
+@dataclass
+class Figure6Result:
+    """Pareto-front membership per group."""
+
+    table3: Table3Result
+    frontier_g1: List[Table3Row]
+    frontier_g2: List[Table3Row]
+    preset_name: str
+
+    def is_on_frontier(self, name: str) -> bool:
+        return any(
+            row.evaluation.name == name for row in self.frontier_g1 + self.frontier_g2
+        )
+
+
+def run(preset: ScalePreset = None, seed: int = 0) -> Figure6Result:
+    """Reproduce Figure 6 at the chosen scale."""
+    preset = preset or get_preset("ci")
+    table3 = run_table3(preset, seed)
+    frontiers = {}
+    for group in (1, 2):
+        rows = table3.group_rows(group)
+        frontiers[group] = pareto_frontier(
+            rows,
+            objectives=lambda row: (row.evaluation.accuracy, row.evaluation.unfairness),
+            maximise=(True, False),
+        )
+    return Figure6Result(
+        table3=table3,
+        frontier_g1=frontiers[1],
+        frontier_g2=frontiers[2],
+        preset_name=preset.name,
+    )
+
+
+def render(result: Figure6Result) -> str:
+    """Scatter points with Pareto membership per group."""
+    sections = []
+    for group, frontier in ((1, result.frontier_g1), (2, result.frontier_g2)):
+        frontier_names = {row.evaluation.name for row in frontier}
+        rows = []
+        for row in result.table3.group_rows(group):
+            rows.append(
+                [
+                    row.evaluation.name,
+                    f"{row.evaluation.accuracy:.2%}",
+                    f"{row.evaluation.unfairness:.4f}",
+                    "yes" if row.evaluation.name in frontier_names else "no",
+                ]
+            )
+        sections.append(
+            f"Figure 6({'a' if group == 1 else 'b'}): group G{group}\n"
+            + format_table(["model", "accuracy", "unfairness", "on Pareto front"], rows)
+        )
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,149 @@
+"""Scale presets.
+
+The paper trains every network for 500 epochs on a 48-GPU cluster and runs
+500 NAS episodes; a numpy reproduction cannot afford that, so every
+experiment accepts a :class:`ScalePreset` selecting the budget.  The code
+path is identical across presets -- only dataset size, input resolution,
+width multiplier and epoch/episode counts change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from repro.data.dermatology import DermatologyConfig
+from repro.nn.trainer import TrainingConfig
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Budget knobs shared by every experiment harness."""
+
+    name: str
+    image_size: int
+    samples_per_class: int
+    minority_fraction: float
+    width_multiplier: float
+    train_epochs: int
+    batch_size: int
+    learning_rate: float
+    search_episodes: int
+    child_epochs: int
+    pretrain_epochs: int
+    max_searchable: int
+    dataset_seed: int = 2022
+
+    def dermatology_config(self, minority_multiplier: float = 1.0) -> DermatologyConfig:
+        """Dataset configuration for this preset.
+
+        ``minority_multiplier`` scales the minority volume (used by the
+        Figure 1(b) and Table 4 data-balancing experiments).
+        """
+        if minority_multiplier <= 0:
+            raise ValueError("minority_multiplier must be positive")
+        return DermatologyConfig(
+            image_size=self.image_size,
+            samples_per_class_majority=self.samples_per_class,
+            minority_fraction=min(1.0, self.minority_fraction * minority_multiplier),
+            seed=self.dataset_seed,
+        )
+
+    def training_config(self, seed: int = 0) -> TrainingConfig:
+        """Training configuration for fully-trained (non-NAS) networks."""
+        return TrainingConfig(
+            epochs=self.train_epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            seed=seed,
+        )
+
+    def child_training_config(self, seed: int = 0) -> TrainingConfig:
+        """Training configuration for NAS child networks (cheaper)."""
+        return TrainingConfig(
+            epochs=self.child_epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            seed=seed,
+        )
+
+
+CI = ScalePreset(
+    name="ci",
+    image_size=16,
+    samples_per_class=20,
+    minority_fraction=0.25,
+    width_multiplier=0.25,
+    train_epochs=6,
+    batch_size=16,
+    learning_rate=5e-3,
+    search_episodes=4,
+    child_epochs=2,
+    pretrain_epochs=2,
+    max_searchable=4,
+)
+
+SMALL = ScalePreset(
+    name="small",
+    image_size=24,
+    samples_per_class=48,
+    minority_fraction=0.25,
+    width_multiplier=0.35,
+    train_epochs=20,
+    batch_size=16,
+    learning_rate=8e-3,
+    search_episodes=24,
+    child_epochs=6,
+    pretrain_epochs=6,
+    max_searchable=6,
+)
+
+FULL = ScalePreset(
+    name="full",
+    image_size=32,
+    samples_per_class=120,
+    minority_fraction=0.25,
+    width_multiplier=0.5,
+    train_epochs=40,
+    batch_size=32,
+    learning_rate=8e-3,
+    search_episodes=60,
+    child_epochs=10,
+    pretrain_epochs=10,
+    max_searchable=8,
+)
+
+PAPER = ScalePreset(
+    name="paper",
+    image_size=224,
+    samples_per_class=2000,
+    minority_fraction=0.2,
+    width_multiplier=1.0,
+    train_epochs=500,
+    batch_size=32,
+    learning_rate=0.1,
+    search_episodes=500,
+    child_epochs=50,
+    pretrain_epochs=50,
+    max_searchable=17,
+)
+
+_PRESETS: Dict[str, ScalePreset] = {
+    "ci": CI,
+    "small": SMALL,
+    "full": FULL,
+    "paper": PAPER,
+}
+
+
+def list_presets() -> List[str]:
+    """Names of the available presets."""
+    return sorted(_PRESETS)
+
+
+def get_preset(name: str) -> ScalePreset:
+    """Look up a preset by name."""
+    key = name.lower().strip()
+    if key not in _PRESETS:
+        raise KeyError(f"unknown preset {name!r}; known: {', '.join(sorted(_PRESETS))}")
+    return _PRESETS[key]

@@ -1,0 +1,70 @@
+"""Run every experiment harness at a chosen scale preset."""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.presets import ScalePreset, get_preset
+
+EXPERIMENTS: List[Tuple[str, Callable, Callable]] = [
+    ("figure1", figure1.run, figure1.render),
+    ("figure2", figure2.run, figure2.render),
+    ("table1", table1.run, table1.render),
+    ("figure3", figure3.run, figure3.render),
+    ("figure5", figure5.run, figure5.render),
+    ("table2", table2.run, table2.render),
+    ("table3", table3.run, table3.render),
+    ("table4", table4.run, table4.render),
+    ("figure6", figure6.run, figure6.render),
+    ("figure7", lambda preset=None, seed=0: figure7.run(), lambda r: figure7.render(r)),
+]
+
+
+def run_all(
+    preset: Optional[ScalePreset] = None,
+    seed: int = 0,
+    only: Optional[List[str]] = None,
+) -> Dict[str, str]:
+    """Run each harness and return its rendered output keyed by name."""
+    preset = preset or get_preset("ci")
+    outputs: Dict[str, str] = {}
+    for name, run_fn, render_fn in EXPERIMENTS:
+        if only is not None and name not in only:
+            continue
+        start = time.perf_counter()
+        result = run_fn(preset=preset, seed=seed) if name != "figure7" else run_fn()
+        rendered = render_fn(result)
+        elapsed = time.perf_counter() - start
+        outputs[name] = rendered + f"\n[{name} completed in {elapsed:.1f}s at preset '{preset.name}']"
+    return outputs
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    parser = argparse.ArgumentParser(description="Run the paper's experiments")
+    parser.add_argument("--preset", default="ci", help="ci, small, full, or paper")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--only", nargs="*", default=None, help="subset of experiments")
+    args = parser.parse_args()
+    outputs = run_all(get_preset(args.preset), args.seed, args.only)
+    for name, text in outputs.items():
+        print("=" * 80)
+        print(text)
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

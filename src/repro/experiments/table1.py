@@ -1,0 +1,99 @@
+"""Table 1: models with <30 MB storage on a Raspberry Pi with TC = 1500 ms.
+
+Shows that hardware specifications and fairness interact: only the smallest
+models meet the timing constraint, and those are either unfair (MnasNet 0.5,
+MobileNetV3-S) or wildly inaccurate (SqueezeNet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments import paper_values
+from repro.experiments.common import ArchitectureEvaluation, evaluate_architecture
+from repro.experiments.presets import ScalePreset, get_preset
+from repro.utils.tabulate import format_table
+
+TABLE1_NETWORKS: List[str] = [
+    "SqueezeNet 1.0",
+    "MobileNetV3(S)",
+    "MnasNet 0.5",
+    "MobileNetV2",
+    "ProxylessNAS(G)",
+    "MnasNet 1.0",
+    "ProxylessNAS(M)",
+]
+
+TIMING_CONSTRAINT_MS = 1500.0
+STORAGE_BUDGET_MB = 30.0
+
+
+@dataclass
+class Table1Result:
+    """One row per network, plus the constraint used."""
+
+    evaluations: List[ArchitectureEvaluation]
+    timing_constraint_ms: float
+    preset_name: str
+
+    def meets_spec(self, name: str) -> bool:
+        for evaluation in self.evaluations:
+            if evaluation.name == name:
+                return evaluation.latency_pi_ms <= self.timing_constraint_ms
+        raise KeyError(f"unknown network {name!r}")
+
+
+def run(preset: ScalePreset = None, seed: int = 0) -> Table1Result:
+    """Reproduce Table 1 at the chosen scale."""
+    preset = preset or get_preset("ci")
+    evaluations = [
+        evaluate_architecture(name, preset, seed) for name in TABLE1_NETWORKS
+    ]
+    return Table1Result(
+        evaluations=evaluations,
+        timing_constraint_ms=TIMING_CONSTRAINT_MS,
+        preset_name=preset.name,
+    )
+
+
+def render(result: Table1Result) -> str:
+    """Rows in the paper's Table 1 format, with the paper's latency alongside."""
+    rows = []
+    for evaluation in result.evaluations:
+        paper = paper_values.TABLE1.get(evaluation.name, {})
+        meets = evaluation.latency_pi_ms <= result.timing_constraint_ms
+        rows.append(
+            [
+                evaluation.name,
+                f"{evaluation.latency_pi_ms:.1f}",
+                f"{paper.get('latency_pi_ms', float('nan')):.1f}",
+                f"{evaluation.storage_mb:.2f}",
+                f"{evaluation.accuracy:.2%}",
+                f"{evaluation.unfairness:.4f}",
+                "yes" if meets else "no",
+                "yes" if paper.get("meets_spec") else "no",
+            ]
+        )
+    header = [
+        "model",
+        "latency ms (repro)",
+        "latency ms (paper)",
+        "storage MB",
+        "accuracy",
+        "unfairness",
+        "meets spec (repro)",
+        "meets spec (paper)",
+    ]
+    return (
+        f"Table 1: Raspberry Pi, TC = {result.timing_constraint_ms:.0f} ms\n"
+        + format_table(header, rows)
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

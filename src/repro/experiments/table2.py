@@ -1,0 +1,118 @@
+"""Table 2: effectiveness of the freezing method.
+
+Runs MONAS (no freezing, no latency bypass) and FaHaNa with the same episode
+budget under a tight and a relaxed timing constraint, then compares search
+space size, valid-architecture ratio and wall-clock search time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.api import default_design_spec, run_fahana_search, run_monas_search
+from repro.core.fahana import FaHaNaResult
+from repro.experiments import paper_values
+from repro.experiments.common import prepare_data
+from repro.experiments.presets import ScalePreset, get_preset
+from repro.utils.tabulate import format_table
+
+TIGHT_TC_MS = 700.0
+RELAXED_TC_MS = 2500.0
+
+
+@dataclass
+class Table2Result:
+    """MONAS and FaHaNa runs under both timing constraints."""
+
+    runs: Dict[str, Dict[str, FaHaNaResult]]
+    preset_name: str
+
+    def speedup(self, constraint: str) -> float:
+        """FaHaNa search-time speedup over MONAS for a constraint key."""
+        monas = self.runs["MONAS"][constraint].history.total_seconds
+        fahana = self.runs["FaHaNa"][constraint].history.total_seconds
+        if fahana <= 0:
+            return float("inf")
+        return monas / fahana
+
+
+def run(
+    preset: ScalePreset = None,
+    seed: int = 0,
+    episodes: Optional[int] = None,
+    tight_tc_ms: float = TIGHT_TC_MS,
+    relaxed_tc_ms: float = RELAXED_TC_MS,
+) -> Table2Result:
+    """Reproduce Table 2 at the chosen scale."""
+    preset = preset or get_preset("ci")
+    data = prepare_data(preset, seed)
+    budget = episodes or preset.search_episodes
+    runs: Dict[str, Dict[str, FaHaNaResult]] = {"MONAS": {}, "FaHaNa": {}}
+    for constraint, tc in (("tight", tight_tc_ms), ("relaxed", relaxed_tc_ms)):
+        spec = default_design_spec(timing_constraint_ms=tc)
+        runs["MONAS"][constraint] = run_monas_search(
+            data.splits.train,
+            data.splits.validation,
+            spec,
+            episodes=budget,
+            width_multiplier=preset.width_multiplier,
+            child_epochs=preset.child_epochs,
+            seed=seed,
+        )
+        runs["FaHaNa"][constraint] = run_fahana_search(
+            data.splits.train,
+            data.splits.validation,
+            spec,
+            episodes=budget,
+            width_multiplier=preset.width_multiplier,
+            child_epochs=preset.child_epochs,
+            pretrain_epochs=preset.pretrain_epochs,
+            max_searchable=preset.max_searchable,
+            seed=seed,
+        )
+    return Table2Result(runs=runs, preset_name=preset.name)
+
+
+def render(result: Table2Result) -> str:
+    """Rows matching the paper's Table 2 layout."""
+    rows = []
+    for method in ("MONAS", "FaHaNa"):
+        tight = result.runs[method]["tight"].history
+        relaxed = result.runs[method]["relaxed"].history
+        paper = paper_values.TABLE2[method]
+        rows.append(
+            [
+                method,
+                f"{tight.space_size:.1e}",
+                f"{paper['space_size']:.0e}",
+                f"{tight.valid_ratio():.2%}",
+                f"{tight.total_seconds:.1f}s",
+                f"{result.speedup('tight'):.2f}x" if method == "FaHaNa" else "1.00x",
+                f"{relaxed.valid_ratio():.2%}",
+                f"{relaxed.total_seconds:.1f}s",
+                f"{result.speedup('relaxed'):.2f}x" if method == "FaHaNa" else "1.00x",
+            ]
+        )
+    header = [
+        "method",
+        "space (repro)",
+        "space (paper)",
+        "valid tight",
+        "time tight",
+        "speedup tight",
+        "valid relaxed",
+        "time relaxed",
+        "speedup relaxed",
+    ]
+    return "Table 2: freezing effectiveness (MONAS vs FaHaNa)\n" + format_table(
+        header, rows
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,145 @@
+"""Table 3: FaHaNa-Nets versus the existing architectures.
+
+Group G1 holds models under 4 M parameters (accuracy constraint 81%), group
+G2 the larger models (constraint 83%).  For every architecture the harness
+reports parameters, overall / per-group accuracy, unfairness, the fairness
+improvement over the group baseline (MobileNetV2 for G1, ResNet-50 for G2),
+the reward, storage, and latency / speedup on both edge devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.reward import RewardConfig
+from repro.experiments import paper_values
+from repro.experiments.common import ArchitectureEvaluation, evaluate_architecture
+from repro.experiments.presets import ScalePreset, get_preset
+from repro.utils.tabulate import format_table
+from repro.zoo.registry import GROUP_LARGE, GROUP_SMALL
+
+GROUP1_BASELINE = "MobileNetV2"
+GROUP2_BASELINE = "ResNet-50"
+
+
+@dataclass
+class Table3Row:
+    """One architecture's measured columns plus derived comparisons."""
+
+    evaluation: ArchitectureEvaluation
+    group: int
+    fairness_improvement: float
+    storage_reduction: float
+    pi_speedup: float
+    odroid_speedup: float
+
+
+@dataclass
+class Table3Result:
+    """All rows of both groups."""
+
+    rows: List[Table3Row]
+    preset_name: str
+
+    def row(self, name: str) -> Table3Row:
+        for row in self.rows:
+            if row.evaluation.name == name:
+                return row
+        raise KeyError(f"unknown architecture {name!r}")
+
+    def group_rows(self, group: int) -> List[Table3Row]:
+        return [row for row in self.rows if row.group == group]
+
+
+def run(preset: ScalePreset = None, seed: int = 0) -> Table3Result:
+    """Reproduce Table 3 at the chosen scale."""
+    preset = preset or get_preset("ci")
+    rows: List[Table3Row] = []
+    for group_id, names, baseline_name in (
+        (1, GROUP_SMALL, GROUP1_BASELINE),
+        (2, GROUP_LARGE, GROUP2_BASELINE),
+    ):
+        reward_config = RewardConfig(
+            alpha=1.0,
+            beta=1.0,
+            accuracy_constraint=0.0,
+            timing_constraint_ms=float("inf"),
+        )
+        evaluations = {
+            name: evaluate_architecture(name, preset, seed, reward_config=reward_config)
+            for name in names
+        }
+        baseline = evaluations[baseline_name]
+        for name in names:
+            evaluation = evaluations[name]
+            improvement = 0.0
+            if baseline.unfairness > 0:
+                improvement = (
+                    baseline.unfairness - evaluation.unfairness
+                ) / baseline.unfairness
+            rows.append(
+                Table3Row(
+                    evaluation=evaluation,
+                    group=group_id,
+                    fairness_improvement=improvement,
+                    storage_reduction=baseline.storage_mb / max(evaluation.storage_mb, 1e-9),
+                    pi_speedup=baseline.latency_pi_ms / max(evaluation.latency_pi_ms, 1e-9),
+                    odroid_speedup=baseline.latency_odroid_ms
+                    / max(evaluation.latency_odroid_ms, 1e-9),
+                )
+            )
+    return Table3Result(rows=rows, preset_name=preset.name)
+
+
+def render(result: Table3Result) -> str:
+    """Rows in the paper's Table 3 layout with paper references."""
+    header = [
+        "grp",
+        "model",
+        "params",
+        "acc",
+        "light",
+        "dark",
+        "unfair (repro)",
+        "unfair (paper)",
+        "fair comp",
+        "storage MB",
+        "Pi ms",
+        "Pi speedup",
+        "Odroid ms",
+        "Odroid speedup",
+    ]
+    rows = []
+    for row in result.rows:
+        evaluation = row.evaluation
+        paper = paper_values.TABLE3.get(evaluation.name, {})
+        rows.append(
+            [
+                f"G{row.group}",
+                evaluation.name,
+                f"{evaluation.params:,}",
+                f"{evaluation.accuracy:.2%}",
+                f"{evaluation.light_accuracy:.2%}",
+                f"{evaluation.dark_accuracy:.2%}",
+                f"{evaluation.unfairness:.4f}",
+                f"{paper.get('unfairness', float('nan')):.4f}",
+                f"{row.fairness_improvement:+.2%}",
+                f"{evaluation.storage_mb:.2f}",
+                f"{evaluation.latency_pi_ms:.1f}",
+                f"{row.pi_speedup:.2f}x",
+                f"{evaluation.latency_odroid_ms:.1f}",
+                f"{row.odroid_speedup:.2f}x",
+            ]
+        )
+    return "Table 3: FaHaNa-Nets vs existing architectures\n" + format_table(
+        header, rows
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,18 @@
+"""Fairness metrics: per-group accuracy and the paper's unfairness score."""
+
+from repro.fairness.metrics import (
+    group_accuracies,
+    unfairness_score,
+    unfairness_from_accuracies,
+    max_gap_unfairness,
+)
+from repro.fairness.report import FairnessReport, evaluate_fairness
+
+__all__ = [
+    "group_accuracies",
+    "unfairness_score",
+    "unfairness_from_accuracies",
+    "max_gap_unfairness",
+    "FairnessReport",
+    "evaluate_fairness",
+]

@@ -1,0 +1,83 @@
+"""Unfairness score and per-group accuracy.
+
+The paper defines the unfairness score of a model ``f`` on dataset ``D``
+partitioned into groups ``D_g`` as the L1 deviation of group accuracies from
+the overall accuracy:
+
+    U(f, D) = sum_g | A(f, D_g) - A(f, D) |
+
+Lower is fairer.  ``max_gap_unfairness`` (the worst-group deviation) is
+provided for the metric ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.nn.metrics import accuracy
+
+
+def group_accuracies(
+    predictions: np.ndarray,
+    labels: np.ndarray,
+    groups: np.ndarray,
+    group_names: Sequence[str],
+) -> Dict[str, float]:
+    """Accuracy of the predictions within each demographic group."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels, dtype=np.int64)
+    groups = np.asarray(groups, dtype=np.int64)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    if predictions.shape != labels.shape or labels.shape != groups.shape:
+        raise ValueError("predictions, labels and groups must have the same length")
+    accuracies: Dict[str, float] = {}
+    for group_id, name in enumerate(group_names):
+        mask = groups == group_id
+        if not mask.any():
+            raise ValueError(
+                f"group {name!r} has no samples; cannot compute its accuracy"
+            )
+        accuracies[name] = accuracy(predictions[mask], labels[mask])
+    return accuracies
+
+
+def unfairness_from_accuracies(
+    per_group: Dict[str, float], overall: float
+) -> float:
+    """L1 unfairness score given pre-computed accuracies."""
+    if not per_group:
+        raise ValueError("per_group accuracies must not be empty")
+    return float(sum(abs(acc - overall) for acc in per_group.values()))
+
+
+def unfairness_score(
+    predictions: np.ndarray,
+    labels: np.ndarray,
+    groups: np.ndarray,
+    group_names: Sequence[str],
+) -> float:
+    """The paper's unfairness score (lower is fairer)."""
+    predictions = np.asarray(predictions)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    overall = accuracy(predictions, labels)
+    per_group = group_accuracies(predictions, labels, groups, group_names)
+    return unfairness_from_accuracies(per_group, overall)
+
+
+def max_gap_unfairness(
+    predictions: np.ndarray,
+    labels: np.ndarray,
+    groups: np.ndarray,
+    group_names: Sequence[str],
+) -> float:
+    """Worst-group deviation from the overall accuracy (alternative metric)."""
+    predictions = np.asarray(predictions)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    overall = accuracy(predictions, labels)
+    per_group = group_accuracies(predictions, labels, groups, group_names)
+    return float(max(abs(acc - overall) for acc in per_group.values()))

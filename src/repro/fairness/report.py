@@ -1,0 +1,78 @@
+"""Model-level fairness evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.dataset import GroupedDataset
+from repro.fairness.metrics import group_accuracies, unfairness_from_accuracies
+from repro.nn.metrics import accuracy
+from repro.nn.module import Module
+from repro.nn.trainer import Trainer
+
+
+@dataclass
+class FairnessReport:
+    """Accuracy, per-group accuracy and unfairness of one model on one dataset."""
+
+    overall_accuracy: float
+    group_accuracy: Dict[str, float]
+    unfairness: float
+
+    def accuracy_of(self, group: str) -> float:
+        """Accuracy of a specific demographic group."""
+        if group not in self.group_accuracy:
+            raise KeyError(
+                f"unknown group {group!r}; known: {sorted(self.group_accuracy)}"
+            )
+        return self.group_accuracy[group]
+
+    def fairness_improvement_over(self, baseline: "FairnessReport") -> float:
+        """Relative unfairness reduction versus ``baseline`` (positive = fairer).
+
+        Matches the paper's "Fairness Comp." column: a positive value means
+        this model's unfairness score is that much lower (better) relative to
+        the baseline's.
+        """
+        if baseline.unfairness == 0:
+            return 0.0
+        return (baseline.unfairness - self.unfairness) / baseline.unfairness
+
+    def summary(self) -> str:
+        groups = ", ".join(
+            f"{name}={acc:.2%}" for name, acc in sorted(self.group_accuracy.items())
+        )
+        return (
+            f"accuracy={self.overall_accuracy:.2%} ({groups}), "
+            f"unfairness={self.unfairness:.4f}"
+        )
+
+
+def fairness_report_from_predictions(
+    predictions: np.ndarray, dataset: GroupedDataset
+) -> FairnessReport:
+    """Build a :class:`FairnessReport` from pre-computed predictions."""
+    overall = accuracy(predictions, dataset.labels)
+    per_group = group_accuracies(
+        predictions, dataset.labels, dataset.groups, dataset.group_names
+    )
+    return FairnessReport(
+        overall_accuracy=overall,
+        group_accuracy=per_group,
+        unfairness=unfairness_from_accuracies(per_group, overall),
+    )
+
+
+def evaluate_fairness(
+    model: Module,
+    dataset: GroupedDataset,
+    trainer: Optional[Trainer] = None,
+    batch_size: int = 64,
+) -> FairnessReport:
+    """Run ``model`` on ``dataset`` and compute accuracy / unfairness."""
+    trainer = trainer or Trainer()
+    predictions = trainer.predict(model, dataset.images, batch_size)
+    return fairness_report_from_predictions(predictions, dataset)

@@ -1,0 +1,40 @@
+"""Edge-device hardware models.
+
+The paper measures inference latency of every network on a Raspberry Pi 4
+and an Odroid XU-4 running vanilla PyTorch.  Those boards are not available
+here, so :mod:`repro.hardware` provides an analytic latency model with
+per-device profiles.  The profiles are calibrated against the latencies the
+paper reports (see :func:`repro.hardware.calibration.fit_device_profile`), so
+the *relative* behaviour that drives the paper's conclusions is preserved:
+depthwise-separable networks are memory-bound and comparatively slow on these
+boards, while dense ResNet-style convolutions achieve much higher effective
+throughput.
+"""
+
+from repro.hardware.device import (
+    DeviceProfile,
+    RASPBERRY_PI_4,
+    ODROID_XU4,
+    get_device,
+    list_devices,
+)
+from repro.hardware.latency import LatencyEstimator, estimate_latency_ms
+from repro.hardware.storage import storage_mb, peak_activation_mb
+from repro.hardware.constraints import HardwareSpec, SoftwareSpec, DesignSpec
+from repro.hardware.calibration import fit_device_profile
+
+__all__ = [
+    "DeviceProfile",
+    "RASPBERRY_PI_4",
+    "ODROID_XU4",
+    "get_device",
+    "list_devices",
+    "LatencyEstimator",
+    "estimate_latency_ms",
+    "storage_mb",
+    "peak_activation_mb",
+    "HardwareSpec",
+    "SoftwareSpec",
+    "DesignSpec",
+    "fit_device_profile",
+]

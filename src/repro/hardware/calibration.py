@@ -1,0 +1,88 @@
+"""Fit device-profile coefficients against measured (or published) latencies.
+
+The built-in Raspberry Pi 4 and Odroid XU-4 profiles were produced with this
+module, using the latencies the paper reports in Tables 1 and 3 as the
+calibration targets.  The same function can re-calibrate the model against
+real measurements if a physical board is available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.device import DeviceProfile
+from repro.zoo.descriptors import ArchitectureDescriptor
+
+
+def _feature_vector(descriptor: ArchitectureDescriptor) -> np.ndarray:
+    """Per-network features: dense / pointwise / depthwise MACs, elements, #ops."""
+    conv_macs = 0.0
+    pw_macs = 0.0
+    dw_macs = 0.0
+    elements = 0.0
+    num_ops = 0.0
+    for _, op in descriptor.walk_op_costs():
+        if op.kind == "dwconv":
+            dw_macs += op.macs
+        elif op.kind == "pwconv":
+            pw_macs += op.macs
+        elif op.kind in ("conv", "linear"):
+            conv_macs += op.macs
+        elements += op.output_elems
+        num_ops += 1.0
+    return np.array([conv_macs, pw_macs, dw_macs, elements, num_ops])
+
+
+def fit_device_profile(
+    name: str,
+    measurements: Mapping[str, float],
+    descriptors: Mapping[str, ArchitectureDescriptor],
+    memory_mb: float = 1024.0,
+) -> Tuple[DeviceProfile, Dict[str, float]]:
+    """Fit a :class:`DeviceProfile` to measured latencies.
+
+    ``measurements`` maps architecture names to milliseconds; ``descriptors``
+    maps the same names to their descriptors.  Returns the fitted profile and
+    the per-network predicted latencies.  The fit is a non-negative
+    least-squares on relative latency (each row is normalised by its target),
+    so small and large networks carry equal weight.
+    """
+    names = [n for n in measurements if n in descriptors]
+    if len(names) < 5:
+        raise ValueError("need at least 5 measured networks to fit 5 coefficients")
+    rows = []
+    targets = []
+    for net_name in names:
+        features = _feature_vector(descriptors[net_name])
+        target = float(measurements[net_name])
+        if target <= 0:
+            raise ValueError(f"latency for {net_name!r} must be positive")
+        rows.append(features / target)
+        targets.append(1.0)
+    matrix = np.asarray(rows)
+    target_vec = np.asarray(targets)
+
+    try:
+        from scipy.optimize import nnls
+
+        coeffs, _ = nnls(matrix, target_vec)
+    except ImportError:  # pragma: no cover - scipy is an expected dependency
+        coeffs, *_ = np.linalg.lstsq(matrix, target_vec, rcond=None)
+        coeffs = np.clip(coeffs, 0.0, None)
+
+    profile = DeviceProfile(
+        name=name,
+        conv_ns_per_mac=float(coeffs[0] * 1e6),
+        pwconv_ns_per_mac=float(coeffs[1] * 1e6),
+        dwconv_ns_per_mac=float(coeffs[2] * 1e6),
+        ns_per_element=float(coeffs[3] * 1e6),
+        ms_per_layer=float(coeffs[4]),
+        memory_mb=memory_mb,
+    )
+    predictions = {
+        net_name: float(_feature_vector(descriptors[net_name]) @ coeffs)
+        for net_name in names
+    }
+    return profile, predictions

@@ -1,0 +1,50 @@
+"""Design specifications: hardware (timing) and software (accuracy) constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.device import DeviceProfile, RASPBERRY_PI_4
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Target device plus timing constraint ``L(H, N) <= TC``."""
+
+    device: DeviceProfile = RASPBERRY_PI_4
+    timing_constraint_ms: float = 1500.0
+    max_storage_mb: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.timing_constraint_ms <= 0:
+            raise ValueError("timing_constraint_ms must be positive")
+        if self.max_storage_mb is not None and self.max_storage_mb <= 0:
+            raise ValueError("max_storage_mb must be positive when given")
+
+
+@dataclass(frozen=True)
+class SoftwareSpec:
+    """Minimum acceptable overall accuracy ``A(f, D) >= AC``."""
+
+    accuracy_constraint: float = 0.81
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy_constraint <= 1.0:
+            raise ValueError("accuracy_constraint must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """The combined specification handed to the NAS framework."""
+
+    hardware: HardwareSpec = HardwareSpec()
+    software: SoftwareSpec = SoftwareSpec()
+
+    @property
+    def timing_constraint_ms(self) -> float:
+        return self.hardware.timing_constraint_ms
+
+    @property
+    def accuracy_constraint(self) -> float:
+        return self.software.accuracy_constraint

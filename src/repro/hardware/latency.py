@@ -1,0 +1,98 @@
+"""Analytic latency estimation for architecture descriptors.
+
+During the NAS search every candidate network must be priced before the
+framework decides whether to train it (children violating the timing
+constraint receive reward -1 without training).  The paper does this with an
+offline per-block latency look-up table; :class:`LatencyEstimator` implements
+the same idea: per-block latencies are computed once per (block, resolution)
+pair and cached, so pricing a child network is a dictionary sum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.blocks.spec import BlockSpec
+from repro.hardware.device import DeviceProfile
+from repro.zoo.descriptors import ArchitectureDescriptor
+
+
+def estimate_latency_ms(
+    descriptor: ArchitectureDescriptor,
+    device: DeviceProfile,
+    resolution: Optional[int] = None,
+) -> float:
+    """End-to-end single-image inference latency in milliseconds."""
+    total = 0.0
+    for _, op in descriptor.walk_op_costs(resolution):
+        total += device.op_latency_ms(op.kind, op.macs, op.output_elems)
+    return total
+
+
+def latency_breakdown_ms(
+    descriptor: ArchitectureDescriptor,
+    device: DeviceProfile,
+    resolution: Optional[int] = None,
+) -> Dict[str, float]:
+    """Per-stage latency breakdown (stem, block0..N, head, classifier)."""
+    breakdown: Dict[str, float] = {}
+    for stage, op in descriptor.walk_op_costs(resolution):
+        breakdown[stage] = breakdown.get(stage, 0.0) + device.op_latency_ms(
+            op.kind, op.macs, op.output_elems
+        )
+    return breakdown
+
+
+class LatencyEstimator:
+    """Cached per-block latency model for a fixed device and input resolution.
+
+    This is the reproduction of the paper's offline block-latency table: the
+    latency of each block is measured (here: computed analytically) once per
+    (block specification, input resolution) and re-used for every child
+    network that contains the block.
+    """
+
+    def __init__(self, device: DeviceProfile, resolution: int = 224):
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        self.device = device
+        self.resolution = resolution
+        self._block_cache: Dict[Tuple[BlockSpec, int], float] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def block_latency_ms(self, spec: BlockSpec, input_resolution: int) -> float:
+        """Latency of a single block at a given input resolution."""
+        key = (spec, input_resolution)
+        if key in self._block_cache:
+            self.cache_hits += 1
+            return self._block_cache[key]
+        self.cache_misses += 1
+        total = 0.0
+        for op in spec.op_costs(input_resolution, input_resolution):
+            total += self.device.op_latency_ms(op.kind, op.macs, op.output_elems)
+        self._block_cache[key] = total
+        return total
+
+    def network_latency_ms(self, descriptor: ArchitectureDescriptor) -> float:
+        """Latency of a full network, using the per-block cache."""
+        resolution = self.resolution
+        height = width = resolution
+        total = 0.0
+        for op in descriptor.stem.op_costs(height, width):
+            total += self.device.op_latency_ms(op.kind, op.macs, op.output_elems)
+        height, width = descriptor.stem.output_spatial(height, width)
+        for block in descriptor.blocks:
+            total += self.block_latency_ms(block, height)
+            height, width = block.output_spatial(height, width)
+        for op in descriptor.head.op_costs(height, width):
+            total += self.device.op_latency_ms(op.kind, op.macs, op.output_elems)
+        for op in descriptor.classifier.op_costs(height, width):
+            total += self.device.op_latency_ms(op.kind, op.macs, op.output_elems)
+        return total
+
+    def meets_constraint(
+        self, descriptor: ArchitectureDescriptor, timing_constraint_ms: float
+    ) -> bool:
+        """Whether the network satisfies ``L(H, N) <= TC``."""
+        return self.network_latency_ms(descriptor) <= timing_constraint_ms

@@ -1,0 +1,38 @@
+"""Storage and memory accounting."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.zoo.descriptors import ArchitectureDescriptor, BYTES_PER_PARAM
+
+
+def storage_mb(descriptor: ArchitectureDescriptor) -> float:
+    """Model storage footprint in MB (float32 weights)."""
+    return descriptor.storage_mb()
+
+
+def peak_activation_mb(
+    descriptor: ArchitectureDescriptor, resolution: Optional[int] = None
+) -> float:
+    """Peak single-operation activation footprint in MB.
+
+    A coarse upper bound on working-set size: the largest input+output
+    activation pair of any primitive operation, in float32.
+    """
+    peak_elems = 0.0
+    for _, op in descriptor.walk_op_costs(resolution):
+        peak_elems = max(peak_elems, op.input_elems + op.output_elems)
+    return peak_elems * BYTES_PER_PARAM / 1e6
+
+
+def fits_in_memory(
+    descriptor: ArchitectureDescriptor,
+    memory_mb: float,
+    resolution: Optional[int] = None,
+) -> bool:
+    """Whether weights plus peak activations fit in ``memory_mb``."""
+    if memory_mb <= 0:
+        raise ValueError("memory_mb must be positive")
+    total = storage_mb(descriptor) + peak_activation_mb(descriptor, resolution)
+    return total <= memory_mb

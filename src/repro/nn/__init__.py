@@ -1,0 +1,68 @@
+"""A from-scratch numpy deep-learning framework.
+
+This package stands in for PyTorch in the reproduction: it provides the
+layers, losses, optimisers and training loop needed by the FaHaNa search
+(convolutions, depthwise convolutions, batch normalisation, linear layers,
+ReLU-family activations, pooling, dropout, cross-entropy, SGD with momentum
+and step-decay learning-rate scheduling).
+
+Layers follow an explicit forward/backward contract (see
+:class:`repro.nn.module.Module`) rather than a taped autodiff graph: every
+module caches what it needs during ``forward`` and returns the gradient with
+respect to its input from ``backward`` while accumulating parameter
+gradients.  Composite blocks with residual connections implement their own
+``forward``/``backward`` pair on top of their sub-layers.
+"""
+
+from repro.nn.tensor import Parameter
+from repro.nn.module import Module, Sequential
+from repro.nn.layers import (
+    Conv2d,
+    DepthwiseConv2d,
+    Linear,
+    BatchNorm2d,
+    ReLU,
+    ReLU6,
+    HardSwish,
+    HardSigmoid,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    AvgPool2d,
+    Flatten,
+    Dropout,
+    Identity,
+)
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.optim import SGD
+from repro.nn.schedulers import StepDecay, CosineDecay
+from repro.nn.metrics import accuracy, confusion_matrix
+from repro.nn.trainer import Trainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "HardSwish",
+    "HardSigmoid",
+    "GlobalAvgPool2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "CrossEntropyLoss",
+    "SGD",
+    "StepDecay",
+    "CosineDecay",
+    "accuracy",
+    "confusion_matrix",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+]

@@ -1,0 +1,33 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def he_normal(shape: tuple, fan_in: int, rng: SeedLike = None) -> np.ndarray:
+    """Kaiming/He normal initialisation, appropriate for ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return new_rng(rng).normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple, fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return new_rng(rng).uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zeros initialisation (biases, batch-norm shift)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    """All-ones initialisation (batch-norm scale)."""
+    return np.ones(shape, dtype=np.float64)

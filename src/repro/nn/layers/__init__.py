@@ -1,0 +1,28 @@
+"""Layer implementations for the numpy deep-learning framework."""
+
+from repro.nn.layers.conv import Conv2d, DepthwiseConv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.activation import ReLU, ReLU6, HardSwish, HardSigmoid, Identity
+from repro.nn.layers.pooling import GlobalAvgPool2d, MaxPool2d, AvgPool2d
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.squeeze_excite import SqueezeExcite
+
+__all__ = [
+    "SqueezeExcite",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "HardSwish",
+    "HardSigmoid",
+    "Identity",
+    "GlobalAvgPool2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "Dropout",
+]

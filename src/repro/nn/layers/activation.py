@@ -1,0 +1,100 @@
+"""Activation functions used by the block library and the reference zoo."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        grad = grad_output * self._mask
+        self._mask = None
+        return grad
+
+
+class ReLU6(Module):
+    """ReLU clipped at 6, as used by MobileNetV2/MnasNet blocks."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = (x > 0) & (x < 6.0)
+        return np.clip(x, 0.0, 6.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        grad = grad_output * self._mask
+        self._mask = None
+        return grad
+
+
+class HardSigmoid(Module):
+    """Piecewise-linear sigmoid approximation: ``relu6(x + 3) / 6``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shifted = x + 3.0
+        self._mask = (shifted > 0) & (shifted < 6.0)
+        return np.clip(shifted, 0.0, 6.0) / 6.0
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        grad = grad_output * self._mask / 6.0
+        self._mask = None
+        return grad
+
+
+class HardSwish(Module):
+    """``x * relu6(x + 3) / 6`` — the MobileNetV3 activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x * np.clip(x + 3.0, 0.0, 6.0) / 6.0
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        x = self._input
+        # Derivative: 0 for x <= -3; (2x + 3)/6 for -3 < x < 3; 1 for x >= 3.
+        grad_local = np.where(
+            x <= -3.0, 0.0, np.where(x >= 3.0, 1.0, (2.0 * x + 3.0) / 6.0)
+        )
+        self._input = None
+        return grad_output * grad_local
+
+
+class Identity(Module):
+    """Pass-through layer (used for optional skips and disabled components)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output

@@ -1,0 +1,196 @@
+"""Standard and depthwise 2-D convolutions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter
+from repro.utils.rng import SeedLike
+
+
+class Conv2d(Module):
+    """2-D convolution with square kernels.
+
+    Input and output are NCHW.  ``padding`` defaults to "same"-style padding
+    (``kernel_size // 2``) so that stride-1 convolutions preserve the spatial
+    size, matching the behaviour assumed by the block library.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if kernel_size <= 0 or stride <= 0:
+            raise ValueError("kernel_size and stride must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.he_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+            ),
+            name="weight",
+        )
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(init.zeros((out_channels,)), name="bias")
+
+        self._cache_cols: Optional[np.ndarray] = None
+        self._cache_input_shape: Optional[tuple] = None
+
+    def output_shape(self, height: int, width: int) -> tuple:
+        """Spatial output shape for an input of ``height`` x ``width``."""
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {c}"
+            )
+        k = self.kernel_size
+        cols = im2col(x, k, k, self.stride, self.padding)
+        n_, _, _, _, out_h, out_w = cols.shape
+        cols_mat = cols.reshape(n_, self.in_channels * k * k, out_h * out_w)
+        weight_mat = self.weight.data.reshape(self.out_channels, -1)
+        out = np.einsum("of,nfl->nol", weight_mat, cols_mat, optimize=True)
+        out = out.reshape(n_, self.out_channels, out_h, out_w)
+        if self.use_bias:
+            out = out + self.bias.data[None, :, None, None]
+        self._cache_cols = cols_mat
+        self._cache_input_shape = x.shape
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_cols is None or self._cache_input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, _, out_h, out_w = grad_output.shape
+        k = self.kernel_size
+        grad_mat = grad_output.reshape(n, self.out_channels, out_h * out_w)
+
+        weight_grad = np.einsum(
+            "nol,nfl->of", grad_mat, self._cache_cols, optimize=True
+        ).reshape(self.weight.data.shape)
+        self.weight.accumulate_grad(weight_grad)
+        if self.use_bias:
+            self.bias.accumulate_grad(grad_mat.sum(axis=(0, 2)))
+
+        weight_mat = self.weight.data.reshape(self.out_channels, -1)
+        grad_cols = np.einsum("of,nol->nfl", weight_mat, grad_mat, optimize=True)
+        grad_cols = grad_cols.reshape(n, self.in_channels, k, k, out_h, out_w)
+        grad_input = col2im(
+            grad_cols, self._cache_input_shape, k, k, self.stride, self.padding
+        )
+        self._cache_cols = None
+        self._cache_input_shape = None
+        return grad_input
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class DepthwiseConv2d(Module):
+    """Depthwise 2-D convolution (one filter per input channel).
+
+    This is the workhorse of the MobileNet-style MB/DB blocks.  The channel
+    multiplier is fixed to 1, matching MobileNetV2.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        bias: bool = False,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if channels <= 0:
+            raise ValueError("channels must be positive")
+        if kernel_size <= 0 or stride <= 0:
+            raise ValueError("kernel_size and stride must be positive")
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+
+        fan_in = kernel_size * kernel_size
+        self.weight = Parameter(
+            init.he_normal((channels, kernel_size, kernel_size), fan_in, rng),
+            name="weight",
+        )
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(init.zeros((channels,)), name="bias")
+
+        self._cache_cols: Optional[np.ndarray] = None
+        self._cache_input_shape: Optional[tuple] = None
+
+    def output_shape(self, height: int, width: int) -> tuple:
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        return (self.channels, out_h, out_w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.channels:
+            raise ValueError(f"expected {self.channels} channels, got {c}")
+        k = self.kernel_size
+        cols = im2col(x, k, k, self.stride, self.padding)
+        out = np.einsum("cij,ncijhw->nchw", self.weight.data, cols, optimize=True)
+        if self.use_bias:
+            out = out + self.bias.data[None, :, None, None]
+        self._cache_cols = cols
+        self._cache_input_shape = x.shape
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_cols is None or self._cache_input_shape is None:
+            raise RuntimeError("backward called before forward")
+        k = self.kernel_size
+        weight_grad = np.einsum(
+            "nchw,ncijhw->cij", grad_output, self._cache_cols, optimize=True
+        )
+        self.weight.accumulate_grad(weight_grad)
+        if self.use_bias:
+            self.bias.accumulate_grad(grad_output.sum(axis=(0, 2, 3)))
+
+        grad_cols = np.einsum(
+            "cij,nchw->ncijhw", self.weight.data, grad_output, optimize=True
+        )
+        grad_input = col2im(
+            grad_cols, self._cache_input_shape, k, k, self.stride, self.padding
+        )
+        self._cache_cols = None
+        self._cache_input_shape = None
+        return grad_input
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DepthwiseConv2d({self.channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding})"
+        )

@@ -1,0 +1,28 @@
+"""Flatten layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Collapse all non-batch dimensions into one."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad = grad_output.reshape(self._cache_shape)
+        self._cache_shape = None
+        return grad

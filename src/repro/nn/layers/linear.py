@@ -1,0 +1,61 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter
+from repro.utils.rng import SeedLike
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` on 2-D inputs of shape (N, in_features)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((out_features, in_features), in_features, out_features, rng),
+            name="weight",
+        )
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)), name="bias")
+        self._cache_input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (N, {self.in_features}), got {x.shape}"
+            )
+        self._cache_input = x
+        out = x @ self.weight.data.T
+        if self.use_bias:
+            out = out + self.bias.data[None, :]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_input is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.accumulate_grad(grad_output.T @ self._cache_input)
+        if self.use_bias:
+            self.bias.accumulate_grad(grad_output.sum(axis=0))
+        grad_input = grad_output @ self.weight.data
+        self._cache_input = None
+        return grad_input
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Linear({self.in_features}, {self.out_features})"

@@ -1,0 +1,86 @@
+"""Batch normalisation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the (N, H, W) axes of NCHW inputs."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must be in (0, 1]")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones((num_features,)), name="gamma")
+        self.beta = Parameter(init.zeros((num_features,)), name="beta")
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
+
+        self._cache_normalised: Optional[np.ndarray] = None
+        self._cache_std: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected input of shape (N, {self.num_features}, H, W), got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+
+        std = np.sqrt(var + self.eps)
+        normalised = (x - mean[None, :, None, None]) / std[None, :, None, None]
+        out = (
+            self.gamma.data[None, :, None, None] * normalised
+            + self.beta.data[None, :, None, None]
+        )
+        if self.training:
+            self._cache_normalised = normalised
+            self._cache_std = std
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_normalised is None or self._cache_std is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        normalised = self._cache_normalised
+        std = self._cache_std
+        n, _, h, w = grad_output.shape
+        count = n * h * w
+
+        self.gamma.accumulate_grad((grad_output * normalised).sum(axis=(0, 2, 3)))
+        self.beta.accumulate_grad(grad_output.sum(axis=(0, 2, 3)))
+
+        grad_norm = grad_output * self.gamma.data[None, :, None, None]
+        sum_grad = grad_norm.sum(axis=(0, 2, 3), keepdims=True)
+        sum_grad_norm = (grad_norm * normalised).sum(axis=(0, 2, 3), keepdims=True)
+        grad_input = (
+            grad_norm - sum_grad / count - normalised * sum_grad_norm / count
+        ) / std[None, :, None, None]
+
+        self._cache_normalised = None
+        self._cache_std = None
+        return grad_input
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchNorm2d({self.num_features})"

@@ -1,0 +1,121 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import col2im, im2col
+from repro.nn.module import Module
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the spatial dimensions, producing (N, C)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected NCHW input, got shape {x.shape}")
+        self._cache_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._cache_shape
+        grad = np.broadcast_to(
+            grad_output[:, :, None, None], (n, c, h, w)
+        ) / float(h * w)
+        self._cache_shape = None
+        return np.ascontiguousarray(grad)
+
+
+class MaxPool2d(Module):
+    """Max pooling with a square window."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache_cols: Optional[np.ndarray] = None
+        self._cache_argmax: Optional[np.ndarray] = None
+        self._cache_input_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        cols = im2col(x, k, k, self.stride, self.padding)
+        n, c, _, _, out_h, out_w = cols.shape
+        flat = cols.reshape(n, c, k * k, out_h, out_w)
+        argmax = flat.argmax(axis=2)
+        out = np.take_along_axis(flat, argmax[:, :, None, :, :], axis=2).squeeze(axis=2)
+        self._cache_argmax = argmax
+        self._cache_input_shape = x.shape
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_argmax is None or self._cache_input_shape is None:
+            raise RuntimeError("backward called before forward")
+        k = self.kernel_size
+        n, c, out_h, out_w = grad_output.shape
+        flat = np.zeros((n, c, k * k, out_h, out_w), dtype=grad_output.dtype)
+        np.put_along_axis(
+            flat, self._cache_argmax[:, :, None, :, :], grad_output[:, :, None, :, :], axis=2
+        )
+        cols = flat.reshape(n, c, k, k, out_h, out_w)
+        grad_input = col2im(
+            cols, self._cache_input_shape, k, k, self.stride, self.padding
+        )
+        self._cache_argmax = None
+        self._cache_input_shape = None
+        return grad_input
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MaxPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class AvgPool2d(Module):
+    """Average pooling with a square window."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache_input_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        cols = im2col(x, k, k, self.stride, self.padding)
+        self._cache_input_shape = x.shape
+        return cols.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_input_shape is None:
+            raise RuntimeError("backward called before forward")
+        k = self.kernel_size
+        n, c, out_h, out_w = grad_output.shape
+        cols = np.broadcast_to(
+            grad_output[:, :, None, None, :, :], (n, c, k, k, out_h, out_w)
+        ) / float(k * k)
+        grad_input = col2im(
+            np.ascontiguousarray(cols),
+            self._cache_input_shape,
+            k,
+            k,
+            self.stride,
+            self.padding,
+        )
+        self._cache_input_shape = None
+        return grad_input
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AvgPool2d(k={self.kernel_size}, s={self.stride})"

@@ -1,0 +1,85 @@
+"""Squeeze-and-excitation layer (used by the MobileNetV3 descriptors)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class SqueezeExcite(Module):
+    """Channel re-weighting: GAP -> FC -> ReLU -> FC -> hard-sigmoid -> scale."""
+
+    def __init__(self, channels: int, hidden: int, rng: SeedLike = None):
+        super().__init__()
+        if channels <= 0 or hidden <= 0:
+            raise ValueError("channels and hidden must be positive")
+        self.channels = channels
+        self.hidden = hidden
+        rngs = spawn_rngs(rng, 2)
+        self.w1 = Parameter(
+            init.xavier_uniform((hidden, channels), channels, hidden, rngs[0]),
+            name="w1",
+        )
+        self.b1 = Parameter(init.zeros((hidden,)), name="b1")
+        self.w2 = Parameter(
+            init.xavier_uniform((channels, hidden), hidden, channels, rngs[1]),
+            name="w2",
+        )
+        self.b2 = Parameter(init.zeros((channels,)), name="b2")
+        self._cache: Optional[dict] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ValueError(
+                f"expected input of shape (N, {self.channels}, H, W), got {x.shape}"
+            )
+        pooled = x.mean(axis=(2, 3))
+        pre1 = pooled @ self.w1.data.T + self.b1.data
+        hidden = np.maximum(pre1, 0.0)
+        pre2 = hidden @ self.w2.data.T + self.b2.data
+        scale = np.clip(pre2 + 3.0, 0.0, 6.0) / 6.0
+        out = x * scale[:, :, None, None]
+        self._cache = {
+            "x": x,
+            "pooled": pooled,
+            "pre1": pre1,
+            "hidden": hidden,
+            "pre2": pre2,
+            "scale": scale,
+        }
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache = self._cache
+        x = cache["x"]
+        scale = cache["scale"]
+        n, c, h, w = x.shape
+
+        grad_scale = (grad_output * x).sum(axis=(2, 3))
+        grad_x = grad_output * scale[:, :, None, None]
+
+        hsig_mask = ((cache["pre2"] + 3.0) > 0) & ((cache["pre2"] + 3.0) < 6.0)
+        grad_pre2 = grad_scale * hsig_mask / 6.0
+        self.w2.accumulate_grad(grad_pre2.T @ cache["hidden"])
+        self.b2.accumulate_grad(grad_pre2.sum(axis=0))
+        grad_hidden = grad_pre2 @ self.w2.data
+
+        grad_pre1 = grad_hidden * (cache["pre1"] > 0)
+        self.w1.accumulate_grad(grad_pre1.T @ cache["pooled"])
+        self.b1.accumulate_grad(grad_pre1.sum(axis=0))
+        grad_pooled = grad_pre1 @ self.w1.data
+
+        grad_x = grad_x + grad_pooled[:, :, None, None] / float(h * w)
+        self._cache = None
+        return grad_x
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SqueezeExcite({self.channels}, hidden={self.hidden})"

@@ -1,0 +1,88 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient with
+    respect to the logits (already divided by the batch size).  Optional
+    per-sample weights support the data-balancing experiments, where minority
+    samples can be re-weighted instead of duplicated.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+        self._cache_probs: Optional[np.ndarray] = None
+        self._cache_targets: Optional[np.ndarray] = None
+        self._cache_weights: Optional[np.ndarray] = None
+
+    def forward(
+        self,
+        logits: np.ndarray,
+        labels: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (N, classes), got {logits.shape}")
+        n, num_classes = logits.shape
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (n,):
+            raise ValueError(
+                f"labels must have shape ({n},), got {labels.shape}"
+            )
+        targets = one_hot(labels, num_classes)
+        if self.label_smoothing > 0.0:
+            targets = (
+                targets * (1.0 - self.label_smoothing)
+                + self.label_smoothing / num_classes
+            )
+        if sample_weights is None:
+            weights = np.ones(n, dtype=np.float64)
+        else:
+            weights = np.asarray(sample_weights, dtype=np.float64)
+            if weights.shape != (n,):
+                raise ValueError(
+                    f"sample_weights must have shape ({n},), got {weights.shape}"
+                )
+        log_probs = log_softmax(logits, axis=1)
+        per_sample = -(targets * log_probs).sum(axis=1)
+        total_weight = weights.sum()
+        if total_weight <= 0:
+            raise ValueError("sample weights must sum to a positive value")
+        loss = float((weights * per_sample).sum() / total_weight)
+
+        self._cache_probs = softmax(logits, axis=1)
+        self._cache_targets = targets
+        self._cache_weights = weights / total_weight
+        return loss
+
+    def backward(self) -> np.ndarray:
+        if (
+            self._cache_probs is None
+            or self._cache_targets is None
+            or self._cache_weights is None
+        ):
+            raise RuntimeError("backward called before forward")
+        grad = (self._cache_probs - self._cache_targets) * self._cache_weights[:, None]
+        self._cache_probs = None
+        self._cache_targets = None
+        self._cache_weights = None
+        return grad
+
+    def __call__(
+        self,
+        logits: np.ndarray,
+        labels: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> float:
+        return self.forward(logits, labels, sample_weights)

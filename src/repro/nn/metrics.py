@@ -1,0 +1,47 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions.
+
+    ``predictions`` may be class indices (1-D) or logits/probabilities (2-D),
+    in which case the argmax is taken.
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    predictions = predictions.astype(np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if labels.size == 0:
+        raise ValueError("cannot compute accuracy of an empty label set")
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Return the ``num_classes`` x ``num_classes`` confusion matrix.
+
+    Rows are true classes; columns are predicted classes.
+    """
+    predictions = np.asarray(predictions)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    predictions = predictions.astype(np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same length")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for true, pred in zip(labels, predictions):
+        if not (0 <= true < num_classes and 0 <= pred < num_classes):
+            raise ValueError("class index out of range for confusion matrix")
+        matrix[true, pred] += 1
+    return matrix

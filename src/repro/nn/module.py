@@ -1,0 +1,190 @@
+"""Module base class and Sequential container."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+
+class Module:
+    """Base class for every layer and composite block.
+
+    Sub-classes implement :meth:`forward` (caching whatever the backward pass
+    needs) and :meth:`backward` (returning the gradient with respect to the
+    module input and accumulating parameter gradients).  Sub-modules and
+    parameters assigned as attributes are discovered automatically, so
+    ``parameters()`` / ``state_dict()`` / ``freeze()`` work recursively.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # -- attribute registration -------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        """Register a sub-module under an explicit name (used by containers)."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- parameter access -------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return all parameters of this module and its sub-modules."""
+        return [param for _, param in self.named_parameters()]
+
+    def trainable_parameters(self) -> List[Parameter]:
+        """Return only the parameters the optimiser should update."""
+        return [p for p in self.parameters() if p.trainable]
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters."""
+        params = self.trainable_parameters() if trainable_only else self.parameters()
+        return int(sum(p.size for p in params))
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every sub-module, depth first."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def children(self) -> List["Module"]:
+        """Return the immediate sub-modules."""
+        return list(self._modules.values())
+
+    # -- train / eval / freeze --------------------------------------------------
+    def train(self) -> "Module":
+        """Put the module (and sub-modules) in training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put the module (and sub-modules) in inference mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def freeze(self) -> "Module":
+        """Mark every parameter as non-trainable (used for frozen header blocks)."""
+        for param in self.parameters():
+            param.trainable = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        """Mark every parameter as trainable again."""
+        for param in self.parameters():
+            param.trainable = True
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state dict --------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a copy of every parameter array keyed by qualified name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values from ``state`` (as produced by ``state_dict``)."""
+        own = dict(self.named_parameters())
+        missing = [name for name in own if name not in state]
+        unexpected = [name for name in state if name not in own]
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state dict mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        for name, param in own.items():
+            if name in state:
+                value = np.asarray(state[name], dtype=np.float64)
+                if value.shape != param.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for '{name}': "
+                        f"{value.shape} vs {param.data.shape}"
+                    )
+                param.data = value.copy()
+
+    # -- forward / backward ------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class Sequential(Module):
+    """Run sub-modules in order; backward runs them in reverse."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: List[str] = []
+        for index, module in enumerate(modules):
+            name = f"layer{index}"
+            self.register_module(name, module)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        """Add a module to the end of the pipeline."""
+        name = f"layer{len(self._order)}"
+        self.register_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules[name] for name in self._order)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for name in self._order:
+            out = self._modules[name].forward(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for name in reversed(self._order):
+            grad = self._modules[name].backward(grad)
+        return grad
+
+    def forward_collect(self, x: np.ndarray) -> List[np.ndarray]:
+        """Forward pass returning the output of every stage.
+
+        Used by the freezing analysis (Figure 3), which compares the
+        intermediate feature maps of demographic groups layer by layer.
+        """
+        outputs: List[np.ndarray] = []
+        out = x
+        for name in self._order:
+            out = self._modules[name].forward(out)
+            outputs.append(out)
+        return outputs

@@ -1,0 +1,168 @@
+"""Optimisers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay.
+
+    Frozen parameters (``trainable=False``) are skipped entirely, which is
+    how the freezing method reduces the number of trained parameters.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        max_grad_norm: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def zero_grad(self) -> None:
+        """Reset gradients on every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def _clip_gradients(self) -> None:
+        if self.max_grad_norm <= 0:
+            return
+        total = 0.0
+        for param in self.parameters:
+            if param.trainable:
+                total += float(np.sum(param.grad**2))
+        norm = float(np.sqrt(total))
+        if norm > self.max_grad_norm and norm > 0:
+            scale = self.max_grad_norm / norm
+            for param in self.parameters:
+                if param.trainable:
+                    param.grad *= scale
+
+    def step(self) -> None:
+        """Apply one update to every trainable parameter."""
+        self._clip_gradients()
+        for param in self.parameters:
+            if not param.trainable:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * param.data
+            key = id(param)
+            velocity = self._velocity.get(key)
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+            velocity = self.momentum * velocity - self.lr * grad
+            self._velocity[key] = velocity
+            param.data = param.data + velocity
+
+    def set_lr(self, lr: float) -> None:
+        """Set the learning rate (used by schedulers)."""
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+
+class Adam:
+    """Adam optimiser.
+
+    The paper trains every network with SGD for 500 epochs; at the reduced
+    numpy scale of this reproduction that budget is unaffordable, so the
+    training presets default to Adam, which reaches comparable accuracy in an
+    order of magnitude fewer epochs.  SGD remains available for paper-exact
+    protocols.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 3e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        max_grad_norm: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self._step = 0
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def zero_grad(self) -> None:
+        """Reset gradients on every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def _clip_gradients(self) -> None:
+        if self.max_grad_norm <= 0:
+            return
+        total = sum(
+            float(np.sum(p.grad**2)) for p in self.parameters if p.trainable
+        )
+        norm = float(np.sqrt(total))
+        if norm > self.max_grad_norm and norm > 0:
+            scale = self.max_grad_norm / norm
+            for param in self.parameters:
+                if param.trainable:
+                    param.grad *= scale
+
+    def step(self) -> None:
+        """Apply one Adam update to every trainable parameter."""
+        self._clip_gradients()
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for param in self.parameters:
+            if not param.trainable:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * param.data
+            key = id(param)
+            m = self._m.get(key)
+            v = self._v.get(key)
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad**2
+            self._m[key] = m
+            self._v[key] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def set_lr(self, lr: float) -> None:
+        """Set the learning rate (used by schedulers)."""
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr

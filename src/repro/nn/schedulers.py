@@ -1,0 +1,64 @@
+"""Learning-rate schedules.
+
+The paper trains every network with "learning rate starts from 0.1 with a
+decay of 0.9 in 20 steps"; :class:`StepDecay` implements exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import SGD
+
+
+class StepDecay:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: SGD, step_size: int = 20, gamma: float = 0.9):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        lr = self.base_lr * (self.gamma ** (self.epoch // self.step_size))
+        self.optimizer.set_lr(lr)
+        return lr
+
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class CosineDecay:
+    """Cosine-annealed learning rate over a fixed number of epochs."""
+
+    def __init__(self, optimizer: SGD, total_epochs: int, min_lr: float = 1e-4):
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        progress = self.epoch / self.total_epochs
+        lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+        self.optimizer.set_lr(lr)
+        return lr
+
+    def current_lr(self) -> float:
+        return self.optimizer.lr

@@ -1,0 +1,13 @@
+"""Shared utilities: seeded RNG helpers, Pareto extraction, serialization."""
+
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.pareto import pareto_frontier, dominates
+from repro.utils.tabulate import format_table
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "pareto_frontier",
+    "dominates",
+    "format_table",
+]

@@ -1,0 +1,67 @@
+"""Pareto-frontier utilities used by the NAS result analysis (Figures 5/6)."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def dominates(
+    a: Sequence[float],
+    b: Sequence[float],
+    maximise: Sequence[bool],
+) -> bool:
+    """Return ``True`` if objective vector ``a`` Pareto-dominates ``b``.
+
+    ``maximise[i]`` selects the direction of objective ``i``; ``a`` dominates
+    ``b`` when it is at least as good in every objective and strictly better
+    in at least one.
+    """
+    if len(a) != len(b) or len(a) != len(maximise):
+        raise ValueError("objective vectors and directions must have equal length")
+    at_least_as_good = True
+    strictly_better = False
+    for ai, bi, up in zip(a, b, maximise):
+        ai_cmp, bi_cmp = (ai, bi) if up else (-ai, -bi)
+        if ai_cmp < bi_cmp:
+            at_least_as_good = False
+            break
+        if ai_cmp > bi_cmp:
+            strictly_better = True
+    return at_least_as_good and strictly_better
+
+
+def pareto_frontier(
+    items: Sequence[T],
+    objectives: Callable[[T], Sequence[float]],
+    maximise: Sequence[bool],
+) -> List[T]:
+    """Return the subset of ``items`` that is not dominated by any other item.
+
+    The original order of items is preserved in the returned list.
+    """
+    vectors = [tuple(objectives(item)) for item in items]
+    frontier: List[T] = []
+    for i, item in enumerate(items):
+        dominated = any(
+            dominates(vectors[j], vectors[i], maximise)
+            for j in range(len(items))
+            if j != i
+        )
+        if not dominated:
+            frontier.append(item)
+    return frontier
+
+
+def pareto_points_2d(
+    points: Sequence[Tuple[float, float]],
+    maximise_x: bool = True,
+    maximise_y: bool = True,
+) -> List[Tuple[float, float]]:
+    """Convenience wrapper returning the non-dominated 2-D points."""
+    return pareto_frontier(
+        list(points),
+        objectives=lambda p: p,
+        maximise=(maximise_x, maximise_y),
+    )

@@ -1,0 +1,51 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library (weight initialisation, dataset
+generation, the NAS controller, data balancing) receives an explicit
+``numpy.random.Generator`` so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator``.
+
+    Accepts an integer seed, an existing generator (returned unchanged), or
+    ``None`` for a non-deterministic generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent child generators from one seed.
+
+    The children are statistically independent streams, so components that
+    consume a different number of random draws do not perturb each other.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = new_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(seed: SeedLike, salt: int) -> int:
+    """Derive a deterministic integer seed from ``seed`` and a ``salt``.
+
+    Useful when a component needs a plain integer (for example to store in a
+    result record) rather than a generator object.
+    """
+    rng = new_rng(None if seed is None else seed)
+    if seed is None:
+        return int(rng.integers(0, 2**31 - 1))
+    base = int(new_rng(seed).integers(0, 2**31 - 1))
+    return (base * 1_000_003 + salt * 7919) % (2**31 - 1)

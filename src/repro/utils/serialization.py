@@ -1,0 +1,59 @@
+"""Serialisation helpers for models and experiment results.
+
+Models are stored as ``.npz`` archives of named parameter arrays plus a JSON
+sidecar describing the architecture; experiment results are stored as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict
+
+import numpy as np
+
+
+def save_state_dict(path: str, state: Dict[str, np.ndarray]) -> None:
+    """Save a mapping of parameter names to arrays as a compressed archive."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a parameter mapping previously written by :func:`save_state_dict`."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def _jsonify(value: Any) -> Any:
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonify(asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def save_json(path: str, payload: Any) -> None:
+    """Write ``payload`` (dataclasses and numpy types allowed) as JSON."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_jsonify(payload), handle, indent=2, sort_keys=True)
+
+
+def load_json(path: str) -> Any:
+    """Read a JSON file previously written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

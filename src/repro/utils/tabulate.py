@@ -1,0 +1,38 @@
+"""Minimal plain-text table formatting for experiment harnesses.
+
+The experiment modules print rows comparable to the paper's tables; this
+helper keeps the formatting consistent without pulling in a dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(str_headers)} headers"
+            )
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [fmt_row(str_headers), sep]
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

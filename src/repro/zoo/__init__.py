@@ -1,0 +1,27 @@
+"""Reference architecture zoo.
+
+These are the competitor networks of the paper's evaluation (Figures 1/2/6,
+Tables 1/3/4): MobileNetV2, MobileNetV3 Small/Large, MnasNet 0.5/1.0,
+ProxylessNAS Mobile/GPU, ResNet-18/34/50 and SqueezeNet 1.0, all expressed as
+:class:`~repro.zoo.descriptors.ArchitectureDescriptor` objects built from the
+same block vocabulary as the FaHaNa search space.
+"""
+
+from repro.zoo.descriptors import ArchitectureDescriptor, HeadSpec
+from repro.zoo.registry import (
+    get_architecture,
+    list_architectures,
+    register_architecture,
+    GROUP_SMALL,
+    GROUP_LARGE,
+)
+
+__all__ = [
+    "ArchitectureDescriptor",
+    "HeadSpec",
+    "get_architecture",
+    "list_architectures",
+    "register_architecture",
+    "GROUP_SMALL",
+    "GROUP_LARGE",
+]

@@ -1,0 +1,68 @@
+"""Reference FaHaNa-Net descriptors.
+
+The paper reports two representative searched architectures: FaHaNa-Small
+(422 K parameters, the smallest network meeting the 81% accuracy constraint)
+and FaHaNa-Fair (5.5 M parameters, the fairest network overall, visualised in
+Figure 7).  Running :class:`repro.core.fahana.FaHaNaSearch` produces fresh
+architectures; the two descriptors below encode the paper's reported designs
+(MB/DB blocks in the header, larger CB/RB blocks in the tail) so that the
+comparison tables can be reproduced without re-running the search.
+"""
+
+from __future__ import annotations
+
+from repro.blocks.spec import BlockSpec, ClassifierSpec, StemSpec
+from repro.zoo.descriptors import ArchitectureDescriptor, HeadSpec
+
+
+def fahana_small(num_classes: int = 5) -> ArchitectureDescriptor:
+    """FaHaNa-Small: slim MB header (cheap at high resolution) with a denser tail.
+
+    The header keeps the expansion channels small while the spatial
+    resolution is still high (depthwise and pointwise layers are the
+    expensive operations on the target boards), and the capacity needed for
+    accuracy and fairness sits in low-resolution CB/RB tail blocks, which are
+    compute-cheap dense convolutions.
+    """
+    blocks = (
+        BlockSpec("MB", 8, 24, 16, kernel=3, stride=2),
+        BlockSpec("MB", 16, 48, 24, kernel=3, stride=2),
+        BlockSpec("MB", 24, 72, 32, kernel=3, stride=2),
+        BlockSpec("DB", 32, 96, 32, kernel=3, stride=1),
+        BlockSpec("MB", 32, 96, 48, kernel=3, stride=2),
+        BlockSpec("CB", 48, 32, 96, kernel=3, stride=1),
+        BlockSpec("RB", 96, 128, 128, kernel=3, stride=1),
+        BlockSpec("CB", 128, 48, 160, kernel=3, stride=1),
+    )
+    return ArchitectureDescriptor(
+        name="FaHaNa-Small",
+        stem=StemSpec(ch_in=3, ch_out=8, kernel=3, stride=2),
+        blocks=blocks,
+        head=HeadSpec(ch_in=160, ch_out=320),
+        classifier=ClassifierSpec(ch_in=320, num_classes=num_classes),
+        input_resolution=224,
+        family="FaHaNa",
+    )
+
+
+def fahana_fair(num_classes: int = 5) -> ArchitectureDescriptor:
+    """FaHaNa-Fair: the Figure 7 architecture (MB header, CB/RB tail)."""
+    blocks = (
+        BlockSpec("CB", 32, 32, 32, kernel=5, stride=1),
+        BlockSpec("CB", 32, 32, 64, kernel=5, stride=2),
+        BlockSpec("MB", 64, 384, 64, kernel=3, stride=2),
+        BlockSpec("DB", 64, 384, 64, kernel=3, stride=1),
+        BlockSpec("DB", 64, 384, 64, kernel=3, stride=1),
+        BlockSpec("MB", 64, 384, 96, kernel=3, stride=2),
+        BlockSpec("RB", 96, 224, 256, kernel=5, stride=2),
+        BlockSpec("RB", 256, 256, 256, kernel=5, stride=1),
+    )
+    return ArchitectureDescriptor(
+        name="FaHaNa-Fair",
+        stem=StemSpec(ch_in=3, ch_out=32, kernel=7, stride=2),
+        blocks=blocks,
+        head=HeadSpec(ch_in=256, ch_out=256),
+        classifier=ClassifierSpec(ch_in=256, num_classes=num_classes),
+        input_resolution=224,
+        family="FaHaNa",
+    )

@@ -1,0 +1,67 @@
+"""MnasNet descriptors (Tan et al., 2019), B1 variant."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.blocks.spec import BlockSpec, ClassifierSpec, StemSpec
+from repro.zoo.descriptors import ArchitectureDescriptor, HeadSpec
+from repro.zoo.stages import inverted_residual_stage, make_divisible
+
+
+def mnasnet(num_classes: int = 5, width: float = 1.0) -> ArchitectureDescriptor:
+    """MnasNet-B1 scaled by ``width`` (0.5 and 1.0 are used by the paper)."""
+
+    def ch(value: int) -> int:
+        return make_divisible(value * width)
+
+    blocks: List[BlockSpec] = []
+    stem_out = ch(32)
+    # The separable-conv first stage of MnasNet is modelled as an expansion-1
+    # inverted residual (depthwise 3x3 + pointwise), as in torchvision.
+    blocks.append(
+        BlockSpec(
+            block_type="DB",
+            ch_in=stem_out,
+            ch_mid=stem_out,
+            ch_out=ch(16),
+            kernel=3,
+            stride=1,
+        )
+    )
+    current = ch(16)
+    # (expansion, out_channels, repeats, stride, kernel)
+    settings = [
+        (3, 24, 3, 2, 3),
+        (3, 40, 3, 2, 5),
+        (6, 80, 3, 2, 5),
+        (6, 96, 2, 1, 3),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ]
+    for expansion, out, repeats, stride, kernel in settings:
+        blocks.extend(
+            inverted_residual_stage(
+                current, ch(out), expansion, repeats, stride, kernel
+            )
+        )
+        current = ch(out)
+    return ArchitectureDescriptor(
+        name=f"MnasNet {width:g}",
+        stem=StemSpec(ch_in=3, ch_out=stem_out, kernel=3, stride=2),
+        blocks=tuple(blocks),
+        head=HeadSpec(ch_in=current, ch_out=1280),
+        classifier=ClassifierSpec(ch_in=1280, num_classes=num_classes),
+        input_resolution=224,
+        family="MnasNet",
+    )
+
+
+def mnasnet_0_5(num_classes: int = 5) -> ArchitectureDescriptor:
+    """MnasNet with a 0.5 width multiplier (the paper's smallest competitor)."""
+    return mnasnet(num_classes=num_classes, width=0.5)
+
+
+def mnasnet_1_0(num_classes: int = 5) -> ArchitectureDescriptor:
+    """MnasNet with the full width."""
+    return mnasnet(num_classes=num_classes, width=1.0)

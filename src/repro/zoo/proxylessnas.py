@@ -1,0 +1,100 @@
+"""ProxylessNAS descriptors (Cai et al., 2019), Mobile and GPU variants.
+
+The exact searched cells of ProxylessNAS mix kernel sizes and expansion
+ratios per block; the descriptors below follow the published per-stage
+configuration closely enough that parameter counts land near the paper's
+Table 3 values.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.blocks.spec import BlockSpec, ClassifierSpec, StemSpec
+from repro.zoo.descriptors import ArchitectureDescriptor, HeadSpec
+
+
+def _stack(settings, start_channels: int) -> List[BlockSpec]:
+    blocks: List[BlockSpec] = []
+    current = start_channels
+    for kernel, expansion, out, stride in settings:
+        block_type = "MB" if stride == 2 else "DB"
+        blocks.append(
+            BlockSpec(
+                block_type=block_type,
+                ch_in=current,
+                ch_mid=max(1, int(round(current * expansion))),
+                ch_out=out,
+                kernel=kernel,
+                stride=stride,
+            )
+        )
+        current = out
+    return blocks
+
+
+def proxylessnas_mobile(num_classes: int = 5) -> ArchitectureDescriptor:
+    """ProxylessNAS searched for mobile latency."""
+    settings = [
+        (3, 1, 16, 1),
+        (5, 3, 32, 2),
+        (3, 3, 32, 1),
+        (7, 3, 40, 2),
+        (3, 3, 40, 1),
+        (5, 3, 40, 1),
+        (5, 3, 40, 1),
+        (7, 6, 80, 2),
+        (5, 3, 80, 1),
+        (5, 3, 80, 1),
+        (5, 3, 80, 1),
+        (5, 6, 96, 1),
+        (5, 3, 96, 1),
+        (5, 3, 96, 1),
+        (5, 3, 96, 1),
+        (7, 6, 192, 2),
+        (7, 6, 192, 1),
+        (7, 3, 192, 1),
+        (7, 3, 192, 1),
+        (7, 6, 320, 1),
+    ]
+    blocks = _stack(settings, 32)
+    return ArchitectureDescriptor(
+        name="ProxylessNAS(M)",
+        stem=StemSpec(ch_in=3, ch_out=32, kernel=3, stride=2),
+        blocks=tuple(blocks),
+        head=HeadSpec(ch_in=320, ch_out=1280),
+        classifier=ClassifierSpec(ch_in=1280, num_classes=num_classes),
+        input_resolution=224,
+        family="ProxylessNAS",
+    )
+
+
+def proxylessnas_gpu(num_classes: int = 5) -> ArchitectureDescriptor:
+    """ProxylessNAS searched for GPU latency (wider, shallower)."""
+    settings = [
+        (3, 1, 24, 1),
+        (5, 3, 32, 2),
+        (3, 3, 32, 1),
+        (7, 3, 56, 2),
+        (3, 3, 56, 1),
+        (7, 6, 112, 2),
+        (5, 3, 112, 1),
+        (5, 3, 112, 1),
+        (5, 6, 128, 1),
+        (3, 3, 128, 1),
+        (7, 6, 256, 2),
+        (7, 6, 256, 1),
+        (7, 6, 256, 1),
+        (7, 6, 256, 1),
+        (5, 6, 432, 1),
+    ]
+    blocks = _stack(settings, 40)
+    return ArchitectureDescriptor(
+        name="ProxylessNAS(G)",
+        stem=StemSpec(ch_in=3, ch_out=40, kernel=3, stride=2),
+        blocks=tuple(blocks),
+        head=HeadSpec(ch_in=432, ch_out=1728),
+        classifier=ClassifierSpec(ch_in=1728, num_classes=num_classes),
+        input_resolution=224,
+        family="ProxylessNAS",
+    )

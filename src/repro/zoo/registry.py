@@ -1,0 +1,75 @@
+"""Name-based registry of the reference architectures.
+
+Names follow the paper's tables exactly (for example ``"MnasNet 0.5"`` and
+``"ProxylessNAS(M)"``) so that experiment harness output lines up with the
+published rows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.zoo.descriptors import ArchitectureDescriptor
+from repro.zoo.fahana_nets import fahana_fair, fahana_small
+from repro.zoo.mnasnet import mnasnet_0_5, mnasnet_1_0
+from repro.zoo.mobilenet import mobilenet_v2, mobilenet_v3_large, mobilenet_v3_small
+from repro.zoo.proxylessnas import proxylessnas_gpu, proxylessnas_mobile
+from repro.zoo.resnet import resnet18, resnet34, resnet50
+from repro.zoo.squeezenet import squeezenet
+
+ArchitectureFactory = Callable[..., ArchitectureDescriptor]
+
+_REGISTRY: Dict[str, ArchitectureFactory] = {
+    "MobileNetV2": mobilenet_v2,
+    "MobileNetV3(S)": mobilenet_v3_small,
+    "MobileNetV3(L)": mobilenet_v3_large,
+    "MnasNet 0.5": mnasnet_0_5,
+    "MnasNet 1.0": mnasnet_1_0,
+    "ProxylessNAS(M)": proxylessnas_mobile,
+    "ProxylessNAS(G)": proxylessnas_gpu,
+    "ResNet-18": resnet18,
+    "ResNet-34": resnet34,
+    "ResNet-50": resnet50,
+    "SqueezeNet 1.0": squeezenet,
+    "FaHaNa-Small": fahana_small,
+    "FaHaNa-Fair": fahana_fair,
+}
+
+# The paper's evaluation groups: G1 (< 4M parameters), G2 (>= 4M parameters).
+GROUP_SMALL: List[str] = [
+    "MobileNetV2",
+    "ProxylessNAS(M)",
+    "MnasNet 0.5",
+    "MobileNetV3(S)",
+    "MnasNet 1.0",
+    "FaHaNa-Small",
+]
+GROUP_LARGE: List[str] = [
+    "ResNet-50",
+    "ResNet-18",
+    "ResNet-34",
+    "ProxylessNAS(G)",
+    "MobileNetV3(L)",
+    "FaHaNa-Fair",
+]
+
+
+def register_architecture(name: str, factory: ArchitectureFactory) -> None:
+    """Register a custom architecture factory under ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"architecture {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def list_architectures() -> List[str]:
+    """Names of every registered architecture."""
+    return sorted(_REGISTRY)
+
+
+def get_architecture(name: str, **kwargs) -> ArchitectureDescriptor:
+    """Instantiate the descriptor registered under ``name``."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown architecture {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[name](**kwargs)

@@ -1,0 +1,61 @@
+"""ResNet-18/34/50 descriptors (He et al., 2016)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.blocks.spec import BlockSpec, ClassifierSpec, StemSpec
+from repro.zoo.descriptors import ArchitectureDescriptor, HeadSpec
+from repro.zoo.stages import residual_stage
+
+
+def _resnet(
+    name: str,
+    layers: Sequence[int],
+    num_classes: int,
+    bottleneck: bool,
+) -> ArchitectureDescriptor:
+    stage_out = [256, 512, 1024, 2048] if bottleneck else [64, 128, 256, 512]
+    stage_mid = [64, 128, 256, 512]
+    blocks: List[BlockSpec] = []
+    current = 64
+    for stage_index, repeats in enumerate(layers):
+        stride = 1 if stage_index == 0 else 2
+        blocks.extend(
+            residual_stage(
+                current,
+                stage_out[stage_index],
+                repeats,
+                stride,
+                kernel=3,
+                bottleneck=bottleneck,
+                bottleneck_mid=stage_mid[stage_index],
+            )
+        )
+        current = stage_out[stage_index]
+    return ArchitectureDescriptor(
+        name=name,
+        # The 7x7/stride-2 stem plus the max-pool is modelled as a stride-2
+        # stem (the pooling stage carries no parameters).
+        stem=StemSpec(ch_in=3, ch_out=64, kernel=7, stride=2),
+        blocks=tuple(blocks),
+        head=HeadSpec(ch_in=current, ch_out=current),
+        classifier=ClassifierSpec(ch_in=current, num_classes=num_classes),
+        input_resolution=224,
+        family="ResNet",
+    )
+
+
+def resnet18(num_classes: int = 5) -> ArchitectureDescriptor:
+    """ResNet-18: four stages of two basic blocks each."""
+    return _resnet("ResNet-18", [2, 2, 2, 2], num_classes, bottleneck=False)
+
+
+def resnet34(num_classes: int = 5) -> ArchitectureDescriptor:
+    """ResNet-34: [3, 4, 6, 3] basic blocks."""
+    return _resnet("ResNet-34", [3, 4, 6, 3], num_classes, bottleneck=False)
+
+
+def resnet50(num_classes: int = 5) -> ArchitectureDescriptor:
+    """ResNet-50: [3, 4, 6, 3] bottleneck blocks."""
+    return _resnet("ResNet-50", [3, 4, 6, 3], num_classes, bottleneck=True)

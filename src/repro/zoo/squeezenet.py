@@ -1,0 +1,52 @@
+"""SqueezeNet 1.0 descriptor (Iandola et al., 2016).
+
+Fire modules (1x1 squeeze followed by parallel 1x1/3x3 expands) are modelled
+as CB blocks (1x1 squeeze followed by a 3x3 expand), which preserves the
+parameter-count scale and the all-convolutional structure.  SqueezeNet
+appears only in Table 1, where its roles are "very small, very fast, fair,
+but far too inaccurate".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.blocks.spec import BlockSpec, ClassifierSpec, StemSpec
+from repro.zoo.descriptors import ArchitectureDescriptor, HeadSpec
+
+
+def squeezenet(num_classes: int = 5) -> ArchitectureDescriptor:
+    # (squeeze, expand, stride): strides stand in for the max-pool stages.
+    settings = [
+        (16, 128, 2),
+        (16, 128, 1),
+        (32, 256, 2),
+        (32, 256, 1),
+        (48, 384, 2),
+        (48, 384, 1),
+        (64, 512, 1),
+        (64, 512, 1),
+    ]
+    blocks: List[BlockSpec] = []
+    current = 96
+    for squeeze, expand, stride in settings:
+        blocks.append(
+            BlockSpec(
+                block_type="CB",
+                ch_in=current,
+                ch_mid=squeeze,
+                ch_out=expand,
+                kernel=3,
+                stride=stride,
+            )
+        )
+        current = expand
+    return ArchitectureDescriptor(
+        name="SqueezeNet 1.0",
+        stem=StemSpec(ch_in=3, ch_out=96, kernel=7, stride=2),
+        blocks=tuple(blocks),
+        head=HeadSpec(ch_in=current, ch_out=current),
+        classifier=ClassifierSpec(ch_in=current, num_classes=num_classes),
+        input_resolution=224,
+        family="SqueezeNet",
+    )

@@ -1,0 +1,96 @@
+"""Helpers to assemble block stacks for the zoo descriptors."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.blocks.spec import BlockSpec
+
+
+def make_divisible(value: float, divisor: int = 8) -> int:
+    """Round channel counts the way mobile networks do (nearest multiple)."""
+    if value <= 0:
+        raise ValueError("channel value must be positive")
+    rounded = max(divisor, int(value + divisor / 2) // divisor * divisor)
+    # Do not shrink by more than 10%.
+    if rounded < 0.9 * value:
+        rounded += divisor
+    return rounded
+
+
+def inverted_residual_stage(
+    ch_in: int,
+    ch_out: int,
+    expansion: float,
+    repeats: int,
+    stride: int,
+    kernel: int = 3,
+) -> List[BlockSpec]:
+    """A MobileNetV2/MnasNet-style stage of inverted residual blocks.
+
+    The first block applies ``stride`` (an MB block when stride is 2) and the
+    channel change; the remaining blocks are stride-1 DB blocks.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    blocks: List[BlockSpec] = []
+    current = ch_in
+    for index in range(repeats):
+        block_stride = stride if index == 0 else 1
+        block_type = "MB" if block_stride == 2 else "DB"
+        ch_mid = max(1, int(round(current * expansion)))
+        blocks.append(
+            BlockSpec(
+                block_type=block_type,
+                ch_in=current,
+                ch_mid=ch_mid,
+                ch_out=ch_out,
+                kernel=kernel,
+                stride=block_stride,
+            )
+        )
+        current = ch_out
+    return blocks
+
+
+def residual_stage(
+    ch_in: int,
+    ch_out: int,
+    repeats: int,
+    stride: int,
+    kernel: int = 3,
+    bottleneck: bool = False,
+    bottleneck_mid: int = 0,
+) -> List[BlockSpec]:
+    """A ResNet stage of basic (RB) or bottleneck (RBB) blocks."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    blocks: List[BlockSpec] = []
+    current = ch_in
+    for index in range(repeats):
+        block_stride = stride if index == 0 else 1
+        if bottleneck:
+            mid = bottleneck_mid or max(1, ch_out // 4)
+            blocks.append(
+                BlockSpec(
+                    block_type="RBB",
+                    ch_in=current,
+                    ch_mid=mid,
+                    ch_out=ch_out,
+                    kernel=kernel,
+                    stride=block_stride,
+                )
+            )
+        else:
+            blocks.append(
+                BlockSpec(
+                    block_type="RB",
+                    ch_in=current,
+                    ch_mid=ch_out,
+                    ch_out=ch_out,
+                    kernel=kernel,
+                    stride=block_stride,
+                )
+            )
+        current = ch_out
+    return blocks

@@ -1,0 +1,58 @@
+"""Shared fixtures: tiny datasets and backbones sized for fast CPU tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blocks.spec import BlockSpec, ClassifierSpec, StemSpec
+from repro.data.dataset import GroupedDataset, stratified_split
+from repro.data.dermatology import DermatologyConfig, DermatologyGenerator
+from repro.zoo.descriptors import ArchitectureDescriptor, HeadSpec
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> DermatologyConfig:
+    """A very small dermatology configuration (12x12 images)."""
+    return DermatologyConfig(
+        image_size=12,
+        samples_per_class_majority=8,
+        minority_fraction=0.5,
+        seed=123,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_config) -> GroupedDataset:
+    """A small grouped dataset shared across tests (read-only)."""
+    return DermatologyGenerator(tiny_config).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_splits(tiny_dataset):
+    """60/20/20 splits of the tiny dataset."""
+    return stratified_split(tiny_dataset, rng=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_backbone() -> ArchitectureDescriptor:
+    """A 4-block backbone small enough to search over in tests."""
+    return ArchitectureDescriptor(
+        name="TinyBackbone",
+        stem=StemSpec(ch_in=3, ch_out=8, kernel=3, stride=2),
+        blocks=(
+            BlockSpec("DB", 8, 16, 8),
+            BlockSpec("MB", 8, 24, 16, stride=2),
+            BlockSpec("DB", 16, 32, 16),
+            BlockSpec("MB", 16, 48, 24, stride=2),
+        ),
+        head=HeadSpec(ch_in=24, ch_out=32),
+        classifier=ClassifierSpec(ch_in=32, num_classes=5),
+        input_resolution=224,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0)

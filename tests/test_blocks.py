@@ -1,0 +1,250 @@
+"""Tests for the block library: specs, analytic costs and trainable modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blocks import (
+    BLOCK_TYPES,
+    BlockSpec,
+    BottleneckBlock,
+    ClassifierSpec,
+    ConvBlock,
+    MobileInvertedBlock,
+    ResidualBlock,
+    SkipBlock,
+    StemSpec,
+    build_block,
+)
+
+
+class TestBlockSpecValidation:
+    def test_block_types_are_the_papers_four(self):
+        assert set(BLOCK_TYPES) == {"MB", "DB", "RB", "CB"}
+
+    def test_mb_requires_stride_two(self):
+        with pytest.raises(ValueError):
+            BlockSpec("MB", 8, 16, 8, stride=1)
+
+    def test_db_requires_stride_one(self):
+        with pytest.raises(ValueError):
+            BlockSpec("DB", 8, 16, 8, stride=2)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError):
+            BlockSpec("XX", 8, 16, 8)
+
+    def test_skip_must_preserve_channels(self):
+        with pytest.raises(ValueError):
+            BlockSpec("SKIP", 8, 8, 16)
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSpec("RB", 8, 8, 8, kernel=4)
+
+    def test_non_positive_channels_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSpec("CB", 0, 8, 8)
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSpec("RB", 8, 8, 8, stride=3)
+
+    def test_se_only_on_mobile_blocks(self):
+        with pytest.raises(ValueError):
+            BlockSpec("RB", 8, 8, 8, se_ratio=0.25)
+
+    def test_se_ratio_range(self):
+        with pytest.raises(ValueError):
+            BlockSpec("DB", 8, 8, 8, se_ratio=1.5)
+
+
+class TestBlockSpecGeometry:
+    def test_stride1_preserves_spatial(self):
+        assert BlockSpec("DB", 8, 16, 8).output_spatial(14, 14) == (14, 14)
+
+    def test_stride2_halves_spatial(self):
+        assert BlockSpec("MB", 8, 16, 8, stride=2).output_spatial(14, 14) == (7, 7)
+
+    def test_stride2_odd_size_rounds_up(self):
+        assert BlockSpec("MB", 8, 16, 8, stride=2).output_spatial(7, 7) == (4, 4)
+
+    def test_skip_is_identity_spatially(self):
+        assert BlockSpec("SKIP", 8, 8, 8).output_spatial(9, 9) == (9, 9)
+
+    def test_residual_flags(self):
+        assert BlockSpec("DB", 8, 16, 8).has_residual
+        assert not BlockSpec("DB", 8, 16, 12).has_residual
+        assert BlockSpec("RB", 8, 16, 12).has_residual
+        assert not BlockSpec("CB", 8, 16, 12).has_residual
+
+
+class TestBlockSpecCosts:
+    def test_mb_param_count_formula(self):
+        spec = BlockSpec("DB", 16, 32, 24)
+        expected = 16 * 32 + 2 * 32 + 9 * 32 + 2 * 32 + 32 * 24 + 2 * 24
+        assert spec.param_count() == expected
+
+    def test_rb_param_count_formula(self):
+        spec = BlockSpec("RB", 16, 16, 16, kernel=3)
+        expected = 9 * 16 * 16 + 2 * 16 + 9 * 16 * 16 + 2 * 16
+        assert spec.param_count() == expected
+
+    def test_rb_projection_adds_parameters(self):
+        same = BlockSpec("RB", 16, 16, 16).param_count()
+        projected = BlockSpec("RB", 16, 16, 32).param_count()
+        assert projected > same
+
+    def test_cb_param_count_formula(self):
+        spec = BlockSpec("CB", 8, 4, 16, kernel=3)
+        expected = 8 * 4 + 2 * 4 + 9 * 4 * 16 + 2 * 16
+        assert spec.param_count() == expected
+
+    def test_rbb_param_count_close_to_torch_bottleneck(self):
+        spec = BlockSpec("RBB", 256, 64, 256)
+        expected = 256 * 64 + 2 * 64 + 9 * 64 * 64 + 2 * 64 + 64 * 256 + 2 * 256
+        assert spec.param_count() == expected
+
+    def test_skip_has_no_cost(self):
+        spec = BlockSpec("SKIP", 8, 8, 8)
+        assert spec.param_count() == 0
+        assert spec.op_costs(8, 8) == []
+
+    def test_macs_scale_with_resolution(self):
+        spec = BlockSpec("DB", 16, 32, 24)
+        assert spec.macs(16, 16) == pytest.approx(4 * spec.macs(8, 8))
+
+    def test_se_adds_params(self):
+        base = BlockSpec("DB", 16, 32, 24).param_count()
+        with_se = BlockSpec("DB", 16, 32, 24, se_ratio=0.25).param_count()
+        assert with_se > base
+
+    def test_params_independent_of_resolution(self):
+        spec = BlockSpec("RB", 8, 8, 8)
+        assert sum(op.params for op in spec.op_costs(8, 8)) == sum(
+            op.params for op in spec.op_costs(32, 32)
+        )
+
+    def test_scaled_reduces_channels(self):
+        spec = BlockSpec("DB", 16, 32, 24)
+        scaled = spec.scaled(0.5)
+        assert scaled.ch_in == 8 and scaled.ch_mid == 16 and scaled.ch_out == 12
+
+    def test_scaled_never_reaches_zero(self):
+        scaled = BlockSpec("DB", 2, 2, 2).scaled(0.1)
+        assert min(scaled.ch_in, scaled.ch_mid, scaled.ch_out) >= 1
+
+    def test_scaled_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            BlockSpec("DB", 8, 8, 8).scaled(0.0)
+
+    def test_describe_format(self):
+        assert BlockSpec("RB", 32, 256, 256, kernel=5).describe() == "RB 32,256,256,5"
+        assert BlockSpec("SKIP", 8, 8, 8).describe() == "SKIP 8"
+
+    def test_pwconv_marked_in_mobile_blocks(self):
+        kinds = [op.kind for op in BlockSpec("DB", 8, 16, 8).op_costs(8, 8)]
+        assert kinds.count("pwconv") == 2
+        assert "dwconv" in kinds
+
+
+class TestStemAndClassifier:
+    def test_stem_param_count(self):
+        stem = StemSpec(ch_in=3, ch_out=32, kernel=3, stride=2)
+        assert stem.param_count() == 3 * 3 * 3 * 32 + 2 * 32
+
+    def test_stem_output_spatial(self):
+        assert StemSpec(stride=2).output_spatial(224, 224) == (112, 112)
+
+    def test_classifier_param_count(self):
+        clf = ClassifierSpec(ch_in=1280, num_classes=5)
+        assert clf.param_count() == 1280 * 5 + 5
+
+    def test_classifier_hidden_layer_params(self):
+        clf = ClassifierSpec(ch_in=576, num_classes=5, hidden_features=1024)
+        assert clf.param_count() == 576 * 1024 + 1024 + 1024 * 5 + 5
+
+
+class TestBlockModules:
+    def _grad_check(self, block, shape, rng, samples=25, tol=1e-5):
+        x = rng.normal(size=shape)
+        out = block.forward(x)
+        analytic = block.backward(np.ones_like(out))
+        eps = 1e-5
+        for _ in range(samples):
+            idx = tuple(rng.integers(0, s) for s in shape)
+            original = x[idx]
+            x[idx] = original + eps
+            plus = block.forward(x).sum()
+            x[idx] = original - eps
+            minus = block.forward(x).sum()
+            x[idx] = original
+            assert abs((plus - minus) / (2 * eps) - analytic[idx]) < tol
+
+    def test_factory_dispatch(self):
+        assert isinstance(build_block(BlockSpec("DB", 4, 8, 4), rng=0), MobileInvertedBlock)
+        assert isinstance(build_block(BlockSpec("MB", 4, 8, 6, stride=2), rng=0), MobileInvertedBlock)
+        assert isinstance(build_block(BlockSpec("RB", 4, 4, 8), rng=0), ResidualBlock)
+        assert isinstance(build_block(BlockSpec("RBB", 4, 2, 8), rng=0), BottleneckBlock)
+        assert isinstance(build_block(BlockSpec("CB", 4, 4, 8), rng=0), ConvBlock)
+        assert isinstance(build_block(BlockSpec("SKIP", 4, 4, 4)), SkipBlock)
+
+    def test_factory_rejects_wrong_spec_type(self):
+        with pytest.raises(ValueError):
+            MobileInvertedBlock(BlockSpec("RB", 4, 4, 4), rng=0)
+        with pytest.raises(ValueError):
+            ResidualBlock(BlockSpec("CB", 4, 4, 4), rng=0)
+        with pytest.raises(ValueError):
+            ConvBlock(BlockSpec("DB", 4, 4, 4), rng=0)
+
+    def test_mobile_block_output_shape(self, rng):
+        block = build_block(BlockSpec("MB", 4, 8, 6, stride=2), rng=0)
+        assert block.forward(rng.normal(size=(2, 4, 8, 8))).shape == (2, 6, 4, 4)
+
+    def test_db_block_residual_path(self, rng):
+        block = build_block(BlockSpec("DB", 4, 8, 4), rng=0)
+        assert block.use_residual
+        assert block.forward(rng.normal(size=(2, 4, 6, 6))).shape == (2, 4, 6, 6)
+
+    def test_residual_block_projection_created_when_needed(self):
+        with_proj = ResidualBlock(BlockSpec("RB", 4, 4, 8), rng=0)
+        without_proj = ResidualBlock(BlockSpec("RB", 4, 4, 4), rng=0)
+        assert with_proj.needs_projection
+        assert not without_proj.needs_projection
+
+    def test_skip_block_is_identity(self, rng):
+        block = SkipBlock(BlockSpec("SKIP", 4, 4, 4))
+        x = rng.normal(size=(2, 4, 5, 5))
+        np.testing.assert_allclose(block.forward(x), x)
+        np.testing.assert_allclose(block.backward(x), x)
+
+    def test_block_param_counts_match_spec(self):
+        for spec in (
+            BlockSpec("DB", 8, 16, 8),
+            BlockSpec("MB", 8, 16, 12, stride=2),
+            BlockSpec("RB", 8, 8, 16),
+            BlockSpec("RBB", 8, 4, 16),
+            BlockSpec("CB", 8, 4, 16),
+        ):
+            module = build_block(spec, rng=0)
+            assert module.num_parameters() == spec.param_count(), spec.block_type
+
+    def test_mobile_block_gradients(self, rng):
+        self._grad_check(build_block(BlockSpec("DB", 4, 8, 4), rng=1), (2, 4, 6, 6), rng)
+
+    def test_residual_block_gradients(self, rng):
+        self._grad_check(build_block(BlockSpec("RB", 4, 6, 8, stride=2), rng=1), (2, 4, 6, 6), rng)
+
+    def test_bottleneck_block_gradients(self, rng):
+        self._grad_check(build_block(BlockSpec("RBB", 4, 2, 8), rng=1), (2, 4, 6, 6), rng)
+
+    def test_conv_block_gradients(self, rng):
+        self._grad_check(build_block(BlockSpec("CB", 4, 4, 8), rng=1), (2, 4, 6, 6), rng)
+
+    def test_se_block_forward_backward(self, rng):
+        block = build_block(BlockSpec("DB", 4, 8, 4, se_ratio=0.25), rng=1)
+        x = rng.normal(size=(2, 4, 6, 6))
+        out = block.forward(x)
+        grad = block.backward(np.ones_like(out))
+        assert grad.shape == x.shape

@@ -1,0 +1,258 @@
+"""Tests for the dermatology data substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GROUP_DARK,
+    GROUP_LIGHT,
+    DermatologyConfig,
+    DermatologyGenerator,
+    GroupedDataset,
+    balance_minority,
+    brightness_jitter,
+    generate_dermatology_dataset,
+    normalize_images,
+    oversample_minority,
+    random_horizontal_flip,
+    stratified_split,
+)
+from repro.data.dermatology import DISEASE_CLASSES
+
+
+class TestDermatologyConfig:
+    def test_defaults_are_five_classes(self):
+        assert DermatologyConfig().num_classes == 5
+        assert len(DISEASE_CLASSES) == 5
+
+    def test_minority_count_derived_from_fraction(self):
+        config = DermatologyConfig(samples_per_class_majority=40, minority_fraction=0.25)
+        assert config.samples_per_class_minority == 10
+
+    def test_invalid_image_size(self):
+        with pytest.raises(ValueError):
+            DermatologyConfig(image_size=4)
+
+    def test_invalid_minority_fraction(self):
+        with pytest.raises(ValueError):
+            DermatologyConfig(minority_fraction=0.0)
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValueError):
+            DermatologyConfig(num_classes=9)
+
+
+class TestGenerator:
+    def test_dataset_shape_and_ranges(self, tiny_dataset, tiny_config):
+        expected = tiny_config.num_classes * (
+            tiny_config.samples_per_class_majority
+            + tiny_config.samples_per_class_minority
+        )
+        assert len(tiny_dataset) == expected
+        assert tiny_dataset.images.shape[1:] == (3, tiny_config.image_size, tiny_config.image_size)
+        assert tiny_dataset.images.min() >= 0.0 and tiny_dataset.images.max() <= 1.0
+
+    def test_all_classes_present(self, tiny_dataset, tiny_config):
+        assert set(np.unique(tiny_dataset.labels)) == set(range(tiny_config.num_classes))
+
+    def test_light_is_majority(self, tiny_dataset):
+        counts = tiny_dataset.group_counts()
+        assert counts[GROUP_LIGHT] > counts[GROUP_DARK]
+        assert tiny_dataset.minority_group() == GROUP_DARK
+        assert tiny_dataset.majority_group() == GROUP_LIGHT
+
+    def test_generation_is_deterministic(self, tiny_config):
+        a = DermatologyGenerator(tiny_config).generate()
+        b = DermatologyGenerator(tiny_config).generate()
+        np.testing.assert_allclose(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seed_changes_images(self, tiny_config):
+        a = DermatologyGenerator(tiny_config).generate(rng=1)
+        b = DermatologyGenerator(tiny_config).generate(rng=2)
+        assert not np.allclose(a.images, b.images)
+
+    def test_dark_images_are_darker_on_average(self, tiny_dataset):
+        light = tiny_dataset.images[tiny_dataset.group_indices(GROUP_LIGHT)]
+        dark = tiny_dataset.images[tiny_dataset.group_indices(GROUP_DARK)]
+        assert light.mean() > dark.mean() + 0.1
+
+    def test_lesion_contrast_lower_for_dark_group(self, tiny_config):
+        generator = DermatologyGenerator(tiny_config)
+        light = generator.generate_group(GROUP_LIGHT, 20, rng=0)
+        dark = generator.generate_group(GROUP_DARK, 20, rng=0)
+        # per-image contrast proxy: standard deviation of pixel intensities
+        assert light.images.std(axis=(1, 2, 3)).mean() > dark.images.std(axis=(1, 2, 3)).mean()
+
+    def test_classes_are_visually_distinct(self, tiny_config):
+        """Mean images of different classes should differ measurably."""
+        generator = DermatologyGenerator(tiny_config)
+        per_class = [
+            generator.generate_group(GROUP_LIGHT, 12, rng=c).images.mean(axis=0)
+            for c in range(3)
+        ]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert np.abs(per_class[i] - per_class[j]).mean() > 1e-3
+
+    def test_generate_group_single_group(self, tiny_config):
+        generator = DermatologyGenerator(tiny_config)
+        dark_only = generator.generate_group(GROUP_DARK, 4, rng=0)
+        assert set(np.unique(dark_only.groups)) == {1}
+        assert len(dark_only) == 4 * tiny_config.num_classes
+
+    def test_generate_group_unknown_group_raises(self, tiny_config):
+        with pytest.raises(ValueError):
+            DermatologyGenerator(tiny_config).generate_group("green", 2)
+
+    def test_convenience_wrapper(self, tiny_config):
+        dataset = generate_dermatology_dataset(tiny_config)
+        assert isinstance(dataset, GroupedDataset)
+
+
+class TestGroupedDataset:
+    def test_subset_preserves_alignment(self, tiny_dataset):
+        subset = tiny_dataset.subset([0, 1, 2])
+        assert len(subset) == 3
+        np.testing.assert_array_equal(subset.labels, tiny_dataset.labels[:3])
+
+    def test_group_indices_cover_dataset(self, tiny_dataset):
+        light = tiny_dataset.group_indices(GROUP_LIGHT)
+        dark = tiny_dataset.group_indices(GROUP_DARK)
+        assert len(light) + len(dark) == len(tiny_dataset)
+
+    def test_group_indices_unknown_raises(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            tiny_dataset.group_indices("unknown")
+
+    def test_concatenate(self, tiny_dataset):
+        combined = tiny_dataset.concatenate(tiny_dataset.subset([0, 1]))
+        assert len(combined) == len(tiny_dataset) + 2
+
+    def test_concatenate_shape_mismatch_raises(self, tiny_dataset):
+        other = GroupedDataset(
+            images=np.zeros((2, 3, 8, 8)), labels=np.zeros(2), groups=np.zeros(2)
+        )
+        with pytest.raises(ValueError):
+            tiny_dataset.concatenate(other)
+
+    def test_shuffled_preserves_multiset(self, tiny_dataset):
+        shuffled = tiny_dataset.shuffled(rng=0)
+        assert sorted(shuffled.labels.tolist()) == sorted(tiny_dataset.labels.tolist())
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            GroupedDataset(images=np.zeros((2, 3, 8)), labels=np.zeros(2), groups=np.zeros(2))
+        with pytest.raises(ValueError):
+            GroupedDataset(images=np.zeros((2, 3, 8, 8)), labels=np.zeros(3), groups=np.zeros(2))
+
+    def test_group_index_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedDataset(
+                images=np.zeros((2, 3, 8, 8)), labels=np.zeros(2), groups=np.array([0, 5])
+            )
+
+    def test_num_classes(self, tiny_dataset, tiny_config):
+        assert tiny_dataset.num_classes == tiny_config.num_classes
+
+
+class TestSplits:
+    def test_split_sizes_sum_to_total(self, tiny_dataset):
+        splits = stratified_split(tiny_dataset, rng=0)
+        assert sum(splits.sizes) == len(tiny_dataset)
+
+    def test_split_fractions_roughly_60_20_20(self, tiny_dataset):
+        splits = stratified_split(tiny_dataset, rng=0)
+        total = len(tiny_dataset)
+        assert splits.sizes[0] / total == pytest.approx(0.6, abs=0.12)
+
+    def test_every_split_contains_both_groups(self, tiny_splits):
+        for split in (tiny_splits.train, tiny_splits.validation, tiny_splits.test):
+            counts = split.group_counts()
+            assert counts[GROUP_LIGHT] > 0 and counts[GROUP_DARK] > 0
+
+    def test_every_split_contains_every_class(self, tiny_splits, tiny_config):
+        for split in (tiny_splits.train, tiny_splits.validation, tiny_splits.test):
+            assert set(np.unique(split.labels)) == set(range(tiny_config.num_classes))
+
+    def test_split_deterministic(self, tiny_dataset):
+        a = stratified_split(tiny_dataset, rng=5)
+        b = stratified_split(tiny_dataset, rng=5)
+        np.testing.assert_array_equal(a.train.labels, b.train.labels)
+
+    def test_invalid_fractions_raise(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            stratified_split(tiny_dataset, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            stratified_split(tiny_dataset, train_fraction=0.9, validation_fraction=0.2)
+
+
+class TestBalancing:
+    def test_balance_minority_increases_minority_share(self, tiny_dataset, tiny_config):
+        generator = DermatologyGenerator(tiny_config)
+        balanced = balance_minority(tiny_dataset, generator, factor=5, rng=0)
+        before = tiny_dataset.group_counts()[GROUP_DARK] / len(tiny_dataset)
+        after = balanced.group_counts()[GROUP_DARK] / len(balanced)
+        assert after > before
+        assert balanced.group_counts()[GROUP_DARK] >= 4 * tiny_dataset.group_counts()[GROUP_DARK]
+
+    def test_balance_minority_keeps_majority_count(self, tiny_dataset, tiny_config):
+        generator = DermatologyGenerator(tiny_config)
+        balanced = balance_minority(tiny_dataset, generator, factor=3, rng=0)
+        assert balanced.group_counts()[GROUP_LIGHT] == tiny_dataset.group_counts()[GROUP_LIGHT]
+
+    def test_balance_minority_factor_one_is_noop_size(self, tiny_dataset, tiny_config):
+        generator = DermatologyGenerator(tiny_config)
+        balanced = balance_minority(tiny_dataset, generator, factor=1, rng=0)
+        assert len(balanced) >= len(tiny_dataset)
+
+    def test_balance_invalid_factor(self, tiny_dataset, tiny_config):
+        with pytest.raises(ValueError):
+            balance_minority(tiny_dataset, DermatologyGenerator(tiny_config), factor=0)
+
+    def test_oversample_minority_duplicates(self, tiny_dataset):
+        oversampled = oversample_minority(tiny_dataset, factor=3, rng=0)
+        assert oversampled.group_counts()[GROUP_DARK] == 3 * tiny_dataset.group_counts()[GROUP_DARK]
+
+    def test_oversample_invalid_factor(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            oversample_minority(tiny_dataset, factor=0)
+
+
+class TestTransforms:
+    def test_normalize_zero_mean_unit_std(self, tiny_dataset):
+        normalised, mean, std = normalize_images(tiny_dataset.images)
+        np.testing.assert_allclose(normalised.mean(axis=(0, 2, 3)), np.zeros(3), atol=1e-9)
+        np.testing.assert_allclose(normalised.std(axis=(0, 2, 3)), np.ones(3), atol=1e-9)
+
+    def test_normalize_reuses_statistics(self, tiny_dataset):
+        _, mean, std = normalize_images(tiny_dataset.images)
+        renormalised, mean2, std2 = normalize_images(tiny_dataset.images[:4], mean, std)
+        np.testing.assert_allclose(mean, mean2)
+        np.testing.assert_allclose(std, std2)
+
+    def test_normalize_requires_4d(self):
+        with pytest.raises(ValueError):
+            normalize_images(np.zeros((3, 8, 8)))
+
+    def test_flip_probability_one_reverses_width(self, tiny_dataset):
+        flipped = random_horizontal_flip(tiny_dataset.images, probability=1.0, rng=0)
+        np.testing.assert_allclose(flipped, tiny_dataset.images[:, :, :, ::-1])
+
+    def test_flip_probability_zero_is_identity(self, tiny_dataset):
+        flipped = random_horizontal_flip(tiny_dataset.images, probability=0.0, rng=0)
+        np.testing.assert_allclose(flipped, tiny_dataset.images)
+
+    def test_flip_invalid_probability(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(tiny_dataset.images, probability=1.5)
+
+    def test_brightness_jitter_stays_in_range(self, tiny_dataset):
+        jittered = brightness_jitter(tiny_dataset.images, magnitude=0.3, rng=0)
+        assert jittered.min() >= 0.0 and jittered.max() <= 1.0
+
+    def test_brightness_jitter_invalid_magnitude(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            brightness_jitter(tiny_dataset.images, magnitude=-0.1)

@@ -1,0 +1,212 @@
+"""Tests for the experiment harnesses: presets, paper values, and micro-scale runs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments import paper_values
+from repro.experiments.presets import CI, ScalePreset, get_preset, list_presets
+from repro.experiments import common, figure6, figure7, table1, table3
+from repro.zoo.registry import GROUP_LARGE, GROUP_SMALL
+
+# An ultra-small preset so harness integration tests stay fast.
+MICRO = dataclasses.replace(
+    CI,
+    name="micro",
+    image_size=12,
+    samples_per_class=8,
+    minority_fraction=0.5,
+    train_epochs=1,
+    batch_size=8,
+    search_episodes=2,
+    child_epochs=1,
+    pretrain_epochs=1,
+    width_multiplier=0.125,
+)
+
+
+class TestPresets:
+    def test_all_presets_listed(self):
+        assert {"ci", "small", "full", "paper"} <= set(list_presets())
+
+    def test_get_preset_case_insensitive(self):
+        assert get_preset("CI").name == "ci"
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            get_preset("huge")
+
+    def test_paper_preset_matches_paper_protocol(self):
+        paper = get_preset("paper")
+        assert paper.train_epochs == 500
+        assert paper.search_episodes == 500
+        assert paper.image_size == 224
+        assert paper.width_multiplier == 1.0
+
+    def test_presets_are_ordered_by_budget(self):
+        ci, small, full = get_preset("ci"), get_preset("small"), get_preset("full")
+        assert ci.train_epochs < small.train_epochs < full.train_epochs
+        assert ci.samples_per_class < small.samples_per_class < full.samples_per_class
+
+    def test_dermatology_config_derivation(self):
+        config = CI.dermatology_config()
+        assert config.image_size == CI.image_size
+        assert config.samples_per_class_majority == CI.samples_per_class
+
+    def test_minority_multiplier_scales_fraction(self):
+        config = CI.dermatology_config(minority_multiplier=2.0)
+        assert config.minority_fraction == pytest.approx(2 * CI.minority_fraction)
+
+    def test_minority_multiplier_capped_at_one(self):
+        config = CI.dermatology_config(minority_multiplier=100.0)
+        assert config.minority_fraction == 1.0
+
+    def test_invalid_minority_multiplier(self):
+        with pytest.raises(ValueError):
+            CI.dermatology_config(minority_multiplier=0)
+
+    def test_training_configs(self):
+        assert CI.training_config(seed=3).epochs == CI.train_epochs
+        assert CI.child_training_config().epochs == CI.child_epochs
+
+
+class TestPaperValues:
+    def test_table3_covers_both_groups(self):
+        groups = {row["group"] for row in paper_values.TABLE3.values()}
+        assert groups == {1, 2}
+
+    def test_table3_group_assignment_matches_registry_groups(self):
+        for name, row in paper_values.TABLE3.items():
+            expected = 1 if name in GROUP_SMALL else 2
+            assert row["group"] == expected, name
+
+    def test_fahana_small_is_fairest_in_group1(self):
+        group1 = {n: r for n, r in paper_values.TABLE3.items() if r["group"] == 1}
+        assert min(group1, key=lambda n: group1[n]["unfairness"]) == "FaHaNa-Small"
+
+    def test_fahana_fair_is_fairest_overall(self):
+        assert min(
+            paper_values.TABLE3, key=lambda n: paper_values.TABLE3[n]["unfairness"]
+        ) == "FaHaNa-Fair"
+
+    def test_headline_speedups_consistent_with_table3(self):
+        table = paper_values.TABLE3
+        speedup = table["MobileNetV2"]["latency_pi_ms"] / table["FaHaNa-Small"]["latency_pi_ms"]
+        assert speedup == pytest.approx(
+            paper_values.HEADLINE["fahana_small_vs_mobilenetv2_pi_speedup"], rel=0.01
+        )
+
+    def test_headline_storage_reduction_consistent(self):
+        table = paper_values.TABLE3
+        reduction = table["MobileNetV2"]["storage_mb"] / table["FaHaNa-Small"]["storage_mb"]
+        assert reduction == pytest.approx(
+            paper_values.HEADLINE["fahana_small_vs_mobilenetv2_storage_reduction"], rel=0.01
+        )
+
+    def test_table1_spec_pattern(self):
+        meets = [n for n, r in paper_values.TABLE1.items() if r["meets_spec"]]
+        assert set(meets) == {"SqueezeNet 1.0", "MobileNetV3(S)", "MnasNet 0.5"}
+
+    def test_table2_fahana_faster_and_more_valid(self):
+        monas, fahana = paper_values.TABLE2["MONAS"], paper_values.TABLE2["FaHaNa"]
+        assert fahana["space_size"] < monas["space_size"]
+        assert fahana["valid_ratio_tight"] > monas["valid_ratio_tight"]
+        assert fahana["hours_relaxed"] < monas["hours_relaxed"]
+
+    def test_table4_balancing_improves_fairness_for_all(self):
+        for name, row in paper_values.TABLE4.items():
+            assert row["unfairness_balanced"] < row["unfairness"], name
+
+
+class TestCommonPipeline:
+    def test_prepare_data_is_cached(self):
+        common.clear_caches()
+        first = common.prepare_data(MICRO, seed=0)
+        second = common.prepare_data(MICRO, seed=0)
+        assert first is second
+        common.clear_caches()
+
+    def test_prepare_data_balanced_has_more_minority(self):
+        common.clear_caches()
+        plain = common.prepare_data(MICRO, seed=0)
+        balanced = common.prepare_data(MICRO, seed=0, balanced=True)
+        assert (
+            balanced.splits.train.group_counts()["dark"]
+            > plain.splits.train.group_counts()["dark"]
+        )
+        common.clear_caches()
+
+    def test_prepare_data_normalises_train_split(self):
+        common.clear_caches()
+        data = common.prepare_data(MICRO, seed=0)
+        means = data.splits.train.images.mean(axis=(0, 2, 3))
+        np.testing.assert_allclose(means, np.zeros(3), atol=1e-7)
+        common.clear_caches()
+
+    def test_evaluate_architecture_returns_all_columns(self, tiny_backbone):
+        common.clear_caches()
+        evaluation = common.evaluate_architecture(tiny_backbone, MICRO, seed=0)
+        assert evaluation.params == tiny_backbone.param_count()
+        assert evaluation.latency_pi_ms > 0
+        assert evaluation.latency_odroid_ms > 0
+        assert 0 <= evaluation.accuracy <= 1
+        assert evaluation.unfairness >= 0
+        assert set(evaluation.group_accuracy) == {"light", "dark"}
+        common.clear_caches()
+
+    def test_evaluation_cache_by_name(self):
+        common.clear_caches()
+        first = common.evaluate_architecture("FaHaNa-Small", MICRO, seed=0)
+        second = common.evaluate_architecture("FaHaNa-Small", MICRO, seed=0)
+        assert first is second
+        common.clear_caches()
+
+
+class TestHarnessSmoke:
+    """Micro-scale end-to-end runs of the cheaper harnesses."""
+
+    def test_figure7_reference_architecture(self):
+        result = figure7.run()
+        assert result.descriptor.name == "FaHaNa-Fair"
+        assert result.tail_uses_larger_blocks
+        rendered = figure7.render(result)
+        assert "RB" in rendered and "LINEAR" in rendered
+
+    def test_table1_micro_run_and_render(self):
+        common.clear_caches()
+        # restrict to three networks to keep the smoke test fast
+        result = table1.Table1Result(
+            evaluations=[
+                common.evaluate_architecture(name, MICRO, seed=0)
+                for name in ("SqueezeNet 1.0", "MnasNet 0.5", "FaHaNa-Small")
+            ],
+            timing_constraint_ms=1500.0,
+            preset_name="micro",
+        )
+        rendered = table1.render(result)
+        assert "SqueezeNet 1.0" in rendered
+        assert result.meets_spec("SqueezeNet 1.0")
+        with pytest.raises(KeyError):
+            result.meets_spec("nonexistent")
+        common.clear_caches()
+
+    def test_figure6_pareto_on_synthetic_rows(self, tiny_backbone):
+        common.clear_caches()
+        evaluation = common.evaluate_architecture(tiny_backbone, MICRO, seed=0)
+        row = table3.Table3Row(
+            evaluation=evaluation,
+            group=1,
+            fairness_improvement=0.0,
+            storage_reduction=1.0,
+            pi_speedup=1.0,
+            odroid_speedup=1.0,
+        )
+        table = table3.Table3Result(rows=[row], preset_name="micro")
+        assert table.group_rows(1) == [row]
+        assert table.row(evaluation.name) is row
+        with pytest.raises(KeyError):
+            table.row("missing")
+        common.clear_caches()

@@ -1,0 +1,129 @@
+"""Tests for the fairness metrics and report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fairness import (
+    FairnessReport,
+    evaluate_fairness,
+    group_accuracies,
+    max_gap_unfairness,
+    unfairness_from_accuracies,
+    unfairness_score,
+)
+from repro.fairness.report import fairness_report_from_predictions
+from repro.nn import Sequential, GlobalAvgPool2d, Linear
+from repro.nn.trainer import Trainer, TrainingConfig
+
+GROUPS = ("light", "dark")
+
+
+class TestGroupAccuracies:
+    def test_per_group_accuracy(self):
+        predictions = np.array([0, 0, 1, 1])
+        labels = np.array([0, 1, 1, 1])
+        groups = np.array([0, 0, 1, 1])
+        accs = group_accuracies(predictions, labels, groups, GROUPS)
+        assert accs["light"] == 0.5 and accs["dark"] == 1.0
+
+    def test_accepts_logits(self):
+        logits = np.array([[0.9, 0.1], [0.1, 0.9]])
+        accs = group_accuracies(logits, np.array([0, 1]), np.array([0, 1]), GROUPS)
+        assert accs == {"light": 1.0, "dark": 1.0}
+
+    def test_empty_group_raises(self):
+        with pytest.raises(ValueError):
+            group_accuracies(np.array([0]), np.array([0]), np.array([0]), GROUPS)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            group_accuracies(np.array([0, 1]), np.array([0]), np.array([0, 1]), GROUPS)
+
+
+class TestUnfairnessScore:
+    def test_paper_definition_two_groups(self):
+        # overall 0.75, light 1.0, dark 0.5 -> |1-0.75| + |0.5-0.75| = 0.5
+        predictions = np.array([0, 0, 0, 0])
+        labels = np.array([0, 0, 0, 1])
+        groups = np.array([0, 0, 1, 1])
+        assert unfairness_score(predictions, labels, groups, GROUPS) == pytest.approx(0.5)
+
+    def test_equal_group_accuracy_gives_zero(self):
+        predictions = np.array([0, 1, 0, 1])
+        labels = np.array([0, 1, 0, 1])
+        groups = np.array([0, 0, 1, 1])
+        assert unfairness_score(predictions, labels, groups, GROUPS) == 0.0
+
+    def test_unfairness_from_accuracies(self):
+        assert unfairness_from_accuracies({"a": 0.9, "b": 0.5}, 0.8) == pytest.approx(0.4)
+
+    def test_unfairness_from_accuracies_empty_raises(self):
+        with pytest.raises(ValueError):
+            unfairness_from_accuracies({}, 0.5)
+
+    def test_max_gap_leq_l1(self):
+        predictions = np.array([0, 0, 0, 0, 1, 1])
+        labels = np.array([0, 0, 1, 1, 1, 0])
+        groups = np.array([0, 0, 0, 1, 1, 1])
+        l1 = unfairness_score(predictions, labels, groups, GROUPS)
+        max_gap = max_gap_unfairness(predictions, labels, groups, GROUPS)
+        assert max_gap <= l1 + 1e-12
+
+    def test_unbalanced_groups_weighting(self):
+        # Accuracy differences are measured against the *overall* accuracy,
+        # so the majority group's deviation is small and the minority's large.
+        predictions = np.array([0] * 9 + [0])
+        labels = np.array([0] * 9 + [1])
+        groups = np.array([0] * 9 + [1])
+        score = unfairness_score(predictions, labels, groups, GROUPS)
+        assert score == pytest.approx(abs(1.0 - 0.9) + abs(0.0 - 0.9))
+
+
+class TestFairnessReport:
+    def _report(self, unfairness=0.2, acc=0.8):
+        return FairnessReport(
+            overall_accuracy=acc,
+            group_accuracy={"light": acc + 0.05, "dark": acc - 0.15},
+            unfairness=unfairness,
+        )
+
+    def test_accuracy_of_group(self):
+        report = self._report()
+        assert report.accuracy_of("light") == pytest.approx(0.85)
+        with pytest.raises(KeyError):
+            report.accuracy_of("green")
+
+    def test_fairness_improvement_positive_when_fairer(self):
+        fairer = self._report(unfairness=0.1)
+        baseline = self._report(unfairness=0.2)
+        assert fairer.fairness_improvement_over(baseline) == pytest.approx(0.5)
+
+    def test_fairness_improvement_negative_when_less_fair(self):
+        worse = self._report(unfairness=0.3)
+        baseline = self._report(unfairness=0.2)
+        assert worse.fairness_improvement_over(baseline) < 0
+
+    def test_fairness_improvement_zero_baseline(self):
+        baseline = self._report(unfairness=0.0)
+        assert self._report(0.1).fairness_improvement_over(baseline) == 0.0
+
+    def test_summary_contains_key_numbers(self):
+        summary = self._report().summary()
+        assert "unfairness=0.2000" in summary and "80.00%" in summary
+
+    def test_report_from_predictions(self, tiny_dataset):
+        predictions = tiny_dataset.labels.copy()
+        report = fairness_report_from_predictions(predictions, tiny_dataset)
+        assert report.overall_accuracy == 1.0
+        assert report.unfairness == 0.0
+
+    def test_evaluate_fairness_with_model(self, tiny_splits):
+        dataset = tiny_splits.test
+        # A GAP+Linear "model" operating directly on images: fast, deterministic.
+        model = Sequential(GlobalAvgPool2d(), Linear(3, 5, rng=0))
+        report = evaluate_fairness(model, dataset, Trainer(TrainingConfig(epochs=0)))
+        assert 0.0 <= report.overall_accuracy <= 1.0
+        assert set(report.group_accuracy) == {"light", "dark"}
+        assert report.unfairness >= 0.0

@@ -1,0 +1,202 @@
+"""Tests for the edge-device hardware models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import paper_values
+from repro.hardware import (
+    DesignSpec,
+    DeviceProfile,
+    HardwareSpec,
+    LatencyEstimator,
+    ODROID_XU4,
+    RASPBERRY_PI_4,
+    SoftwareSpec,
+    estimate_latency_ms,
+    fit_device_profile,
+    get_device,
+    list_devices,
+    peak_activation_mb,
+    storage_mb,
+)
+from repro.hardware.latency import latency_breakdown_ms
+from repro.hardware.storage import fits_in_memory
+from repro.zoo import get_architecture
+
+
+class TestDeviceProfiles:
+    def test_builtin_devices_listed(self):
+        assert "raspberry-pi-4" in list_devices()
+        assert "odroid-xu4" in list_devices()
+
+    def test_get_device_case_insensitive(self):
+        assert get_device("Raspberry-PI-4").name == RASPBERRY_PI_4.name
+
+    def test_get_device_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_device("jetson")
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", -1, 1, 1, 1, 1)
+
+    def test_dwconv_more_expensive_than_dense_conv(self):
+        for device in (RASPBERRY_PI_4, ODROID_XU4):
+            assert device.dwconv_ns_per_mac > device.conv_ns_per_mac
+
+    def test_op_latency_positive(self):
+        assert RASPBERRY_PI_4.op_latency_ms("conv", 1e6, 1e4) > 0
+
+    def test_op_latency_unknown_kind_is_memory_bound(self):
+        latency = RASPBERRY_PI_4.op_latency_ms("bn", 1e9, 10)
+        assert latency < RASPBERRY_PI_4.op_latency_ms("conv", 1e9, 10)
+
+
+class TestLatencyEstimates:
+    def test_latency_positive_for_all_zoo_models(self):
+        for name in paper_values.TABLE3:
+            descriptor = get_architecture(name)
+            assert estimate_latency_ms(descriptor, RASPBERRY_PI_4) > 0
+
+    def test_table1_meet_spec_pattern_reproduced(self):
+        """The paper's Table 1: only SqueezeNet, MobileNetV3-S and MnasNet 0.5
+        meet the 1500 ms constraint on the Raspberry Pi."""
+        for name, row in paper_values.TABLE1.items():
+            latency = estimate_latency_ms(get_architecture(name), RASPBERRY_PI_4)
+            assert (latency <= 1500.0) == row["meets_spec"], name
+
+    def test_depthwise_networks_slower_than_resnet18_despite_fewer_macs(self):
+        resnet = get_architecture("ResNet-18")
+        mobilenet = get_architecture("MobileNetV2")
+        assert mobilenet.macs() < resnet.macs()
+        assert estimate_latency_ms(mobilenet, RASPBERRY_PI_4) > estimate_latency_ms(
+            resnet, RASPBERRY_PI_4
+        )
+
+    def test_fahana_small_speedup_direction(self):
+        mobilenet = estimate_latency_ms(get_architecture("MobileNetV2"), RASPBERRY_PI_4)
+        fahana = estimate_latency_ms(get_architecture("FaHaNa-Small"), RASPBERRY_PI_4)
+        assert mobilenet / fahana > 3.0  # paper reports 5.75x
+
+    def test_fahana_fair_faster_than_resnet50(self):
+        resnet = estimate_latency_ms(get_architecture("ResNet-50"), RASPBERRY_PI_4)
+        fahana = estimate_latency_ms(get_architecture("FaHaNa-Fair"), RASPBERRY_PI_4)
+        assert resnet / fahana > 1.2  # paper reports 1.75x
+
+    def test_odroid_slower_than_pi(self):
+        for name in ("MobileNetV2", "ResNet-18"):
+            descriptor = get_architecture(name)
+            assert estimate_latency_ms(descriptor, ODROID_XU4) > estimate_latency_ms(
+                descriptor, RASPBERRY_PI_4
+            )
+
+    def test_breakdown_sums_to_total(self):
+        descriptor = get_architecture("MobileNetV2")
+        breakdown = latency_breakdown_ms(descriptor, RASPBERRY_PI_4)
+        assert sum(breakdown.values()) == pytest.approx(
+            estimate_latency_ms(descriptor, RASPBERRY_PI_4)
+        )
+
+    def test_lower_resolution_is_faster(self):
+        descriptor = get_architecture("MobileNetV2")
+        assert estimate_latency_ms(descriptor, RASPBERRY_PI_4, resolution=112) < (
+            estimate_latency_ms(descriptor, RASPBERRY_PI_4, resolution=224)
+        )
+
+
+class TestLatencyEstimator:
+    def test_estimator_matches_direct_estimate(self, tiny_backbone):
+        estimator = LatencyEstimator(RASPBERRY_PI_4, resolution=224)
+        direct = estimate_latency_ms(tiny_backbone, RASPBERRY_PI_4)
+        assert estimator.network_latency_ms(tiny_backbone) == pytest.approx(direct)
+
+    def test_block_cache_hits(self, tiny_backbone):
+        estimator = LatencyEstimator(RASPBERRY_PI_4)
+        estimator.network_latency_ms(tiny_backbone)
+        misses_after_first = estimator.cache_misses
+        estimator.network_latency_ms(tiny_backbone)
+        assert estimator.cache_misses == misses_after_first
+        assert estimator.cache_hits > 0
+
+    def test_meets_constraint(self, tiny_backbone):
+        estimator = LatencyEstimator(RASPBERRY_PI_4)
+        latency = estimator.network_latency_ms(tiny_backbone)
+        assert estimator.meets_constraint(tiny_backbone, latency + 1)
+        assert not estimator.meets_constraint(tiny_backbone, latency - 1)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            LatencyEstimator(RASPBERRY_PI_4, resolution=0)
+
+
+class TestStorage:
+    def test_storage_matches_descriptor(self):
+        descriptor = get_architecture("ResNet-18")
+        assert storage_mb(descriptor) == pytest.approx(descriptor.storage_mb())
+
+    def test_storage_ordering_matches_paper(self):
+        small = storage_mb(get_architecture("FaHaNa-Small"))
+        large = storage_mb(get_architecture("ResNet-50"))
+        assert small < 4 and large > 80
+
+    def test_peak_activation_positive(self, tiny_backbone):
+        assert peak_activation_mb(tiny_backbone) > 0
+
+    def test_fits_in_memory(self, tiny_backbone):
+        assert fits_in_memory(tiny_backbone, memory_mb=8192)
+        assert not fits_in_memory(tiny_backbone, memory_mb=0.001)
+
+    def test_fits_in_memory_invalid(self, tiny_backbone):
+        with pytest.raises(ValueError):
+            fits_in_memory(tiny_backbone, memory_mb=0)
+
+
+class TestConstraints:
+    def test_defaults_match_paper(self):
+        spec = DesignSpec()
+        assert spec.timing_constraint_ms == 1500.0
+        assert spec.hardware.device.name == RASPBERRY_PI_4.name
+
+    def test_invalid_timing_constraint(self):
+        with pytest.raises(ValueError):
+            HardwareSpec(timing_constraint_ms=0)
+
+    def test_invalid_accuracy_constraint(self):
+        with pytest.raises(ValueError):
+            SoftwareSpec(accuracy_constraint=1.5)
+
+    def test_design_spec_accessors(self):
+        spec = DesignSpec(
+            hardware=HardwareSpec(timing_constraint_ms=700),
+            software=SoftwareSpec(accuracy_constraint=0.83),
+        )
+        assert spec.timing_constraint_ms == 700
+        assert spec.accuracy_constraint == 0.83
+
+
+class TestCalibration:
+    def test_fit_recovers_reasonable_profile(self):
+        measurements = {
+            name: row["latency_pi_ms"] for name, row in paper_values.TABLE3.items()
+        }
+        descriptors = {name: get_architecture(name) for name in measurements}
+        profile, predictions = fit_device_profile("fit-test", measurements, descriptors)
+        assert profile.dwconv_ns_per_mac >= 0
+        # predictions within a factor of ~3 of the measurements for most nets
+        ratios = [predictions[n] / measurements[n] for n in measurements]
+        assert np.median(ratios) == pytest.approx(1.0, abs=0.5)
+
+    def test_fit_requires_enough_networks(self):
+        descriptors = {"MobileNetV2": get_architecture("MobileNetV2")}
+        with pytest.raises(ValueError):
+            fit_device_profile("x", {"MobileNetV2": 100.0}, descriptors)
+
+    def test_fit_rejects_non_positive_latency(self):
+        names = list(paper_values.TABLE3)[:6]
+        descriptors = {n: get_architecture(n) for n in names}
+        measurements = {n: 100.0 for n in names}
+        measurements[names[0]] = 0.0
+        with pytest.raises(ValueError):
+            fit_device_profile("x", measurements, descriptors)

@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.blocks.spec import BlockSpec
+from repro.core.reward import INVALID_REWARD, RewardConfig, compute_reward
+from repro.fairness.metrics import unfairness_score
+from repro.nn.functional import col2im, im2col, one_hot, softmax
+from repro.nn.metrics import accuracy
+from repro.utils.pareto import dominates, pareto_frontier
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+# -- fairness ---------------------------------------------------------------------
+@SETTINGS
+@given(
+    labels=hnp.arrays(np.int64, st.integers(4, 40), elements=st.integers(0, 4)),
+    data=st.data(),
+)
+def test_unfairness_score_bounds_and_permutation_invariance(labels, data):
+    n = labels.shape[0]
+    predictions = data.draw(
+        hnp.arrays(np.int64, n, elements=st.integers(0, 4)), label="predictions"
+    )
+    # ensure both groups are present
+    groups = np.zeros(n, dtype=np.int64)
+    groups[n // 2 :] = 1
+    score = unfairness_score(predictions, labels, groups, ("light", "dark"))
+    assert 0.0 <= score <= 2.0  # at most |1-0| per group for two groups
+    order = data.draw(st.permutations(range(n)), label="order")
+    order = np.array(order)
+    permuted = unfairness_score(
+        predictions[order], labels[order], groups[order], ("light", "dark")
+    )
+    assert permuted == pytest.approx(score)
+
+
+@SETTINGS
+@given(labels=hnp.arrays(np.int64, st.integers(2, 30), elements=st.integers(0, 4)))
+def test_perfect_predictions_are_perfectly_fair(labels):
+    groups = np.zeros(labels.shape[0], dtype=np.int64)
+    groups[::2] = 1
+    if groups.sum() == 0 or groups.sum() == len(groups):
+        return
+    assert unfairness_score(labels, labels, groups, ("light", "dark")) == 0.0
+    assert accuracy(labels, labels) == 1.0
+
+
+# -- reward -----------------------------------------------------------------------
+@SETTINGS
+@given(
+    acc=st.floats(0.0, 1.0),
+    unfairness=st.floats(0.0, 1.0),
+    latency=st.floats(0.0, 3000.0),
+    alpha=st.floats(0.0, 2.0),
+    beta=st.floats(0.0, 2.0),
+)
+def test_reward_bounds_and_validity(acc, unfairness, latency, alpha, beta):
+    config = RewardConfig(
+        alpha=alpha, beta=beta, accuracy_constraint=0.0, timing_constraint_ms=1500.0
+    )
+    reward = compute_reward(acc, unfairness, latency, config)
+    if latency > 1500.0:
+        assert reward == INVALID_REWARD
+    else:
+        assert reward == pytest.approx(alpha * acc - beta * unfairness)
+        assert reward <= alpha * acc + 1e-12
+
+
+@SETTINGS
+@given(acc=st.floats(0.0, 1.0), unfairness=st.floats(0.0, 1.0))
+def test_reward_monotone_in_accuracy_and_fairness(acc, unfairness):
+    config = RewardConfig(timing_constraint_ms=1e9)
+    base = compute_reward(acc, unfairness, 1.0, config)
+    if acc <= 0.99:
+        assert compute_reward(min(1.0, acc + 0.01), unfairness, 1.0, config) >= base
+    if unfairness <= 0.99:
+        assert compute_reward(acc, unfairness + 0.01, 1.0, config) <= base
+
+
+# -- pareto -----------------------------------------------------------------------
+@SETTINGS
+@given(
+    points=st.lists(
+        st.tuples(st.floats(0, 10), st.floats(0, 10)), min_size=1, max_size=25
+    )
+)
+def test_pareto_frontier_properties(points):
+    frontier = pareto_frontier(points, objectives=lambda p: p, maximise=(True, True))
+    assert frontier  # never empty for a non-empty input
+    assert all(p in points for p in frontier)
+    # no frontier point is dominated by any other point
+    for candidate in frontier:
+        assert not any(
+            dominates(other, candidate, (True, True)) for other in points
+        )
+    # every non-frontier point is dominated by at least one frontier point
+    for point in points:
+        if point not in frontier:
+            assert any(dominates(front, point, (True, True)) for front in frontier)
+
+
+# -- numerics ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    logits=hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(1, 6), st.integers(2, 8)),
+        elements=st.floats(-50, 50),
+    ),
+    shift=st.floats(-100, 100),
+)
+def test_softmax_normalised_and_shift_invariant(logits, shift):
+    probs = softmax(logits)
+    np.testing.assert_allclose(probs.sum(axis=-1), np.ones(logits.shape[0]), atol=1e-9)
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(softmax(logits + shift), probs, atol=1e-9)
+
+
+@SETTINGS
+@given(
+    batch=st.integers(1, 3),
+    channels=st.integers(1, 4),
+    size=st.integers(3, 9),
+    kernel=st.sampled_from([1, 3, 5]),
+    stride=st.sampled_from([1, 2]),
+)
+def test_im2col_col2im_adjointness(batch, channels, size, kernel, stride):
+    if size + 2 * (kernel // 2) < kernel:
+        return
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(batch, channels, size, size))
+    padding = kernel // 2
+    cols = im2col(x, kernel, kernel, stride, padding)
+    y = rng.normal(size=cols.shape)
+    lhs = float((cols * y).sum())
+    rhs = float((x * col2im(y, x.shape, kernel, kernel, stride, padding)).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+@SETTINGS
+@given(
+    labels=hnp.arrays(np.int64, st.integers(1, 30), elements=st.integers(0, 9)),
+    num_classes=st.integers(10, 12),
+)
+def test_one_hot_rows_sum_to_one(labels, num_classes):
+    encoded = one_hot(labels, num_classes)
+    np.testing.assert_allclose(encoded.sum(axis=1), np.ones(labels.shape[0]))
+    assert encoded.shape == (labels.shape[0], num_classes)
+
+
+# -- block specifications -------------------------------------------------------------
+_block_spec_strategy = st.builds(
+    BlockSpec,
+    block_type=st.sampled_from(["DB", "RB", "CB"]),
+    ch_in=st.integers(1, 64),
+    ch_mid=st.integers(1, 128),
+    ch_out=st.integers(1, 64),
+    kernel=st.sampled_from([1, 3, 5]),
+    stride=st.just(1),
+)
+
+
+@SETTINGS
+@given(spec=_block_spec_strategy)
+def test_block_spec_costs_are_non_negative_and_consistent(spec):
+    assert spec.param_count() >= 0
+    assert spec.macs(8, 8) >= 0
+    ops = spec.op_costs(8, 8)
+    assert sum(op.params for op in ops) == spec.param_count()
+    assert all(op.macs >= 0 and op.output_elems >= 0 for op in ops)
+
+
+@SETTINGS
+@given(spec=_block_spec_strategy, multiplier=st.floats(0.1, 1.0))
+def test_block_spec_scaling_never_increases_parameters_much(spec, multiplier):
+    scaled = spec.scaled(multiplier)
+    # rounding can add a handful of parameters for tiny channel counts, but a
+    # scaled-down block is never larger than the original by more than the
+    # rounding slack
+    assert scaled.param_count() <= spec.param_count() + 4 * (
+        scaled.ch_in + scaled.ch_mid + scaled.ch_out + 8
+    )
+    assert min(scaled.ch_in, scaled.ch_mid, scaled.ch_out) >= 1
+
+
+@SETTINGS
+@given(
+    spec=_block_spec_strategy,
+    height=st.integers(4, 32),
+)
+def test_block_spec_stride1_preserves_resolution(spec, height):
+    assert spec.output_spatial(height, height) == (height, height)
+
+
+# -- accuracy ---------------------------------------------------------------------------
+@SETTINGS
+@given(
+    labels=hnp.arrays(np.int64, st.integers(1, 40), elements=st.integers(0, 4)),
+    data=st.data(),
+)
+def test_accuracy_bounds(labels, data):
+    predictions = data.draw(
+        hnp.arrays(np.int64, labels.shape[0], elements=st.integers(0, 4))
+    )
+    value = accuracy(predictions, labels)
+    assert 0.0 <= value <= 1.0
