@@ -1,0 +1,113 @@
+"""Benchmark: the search engine versus the sequential seed loop.
+
+Measures (at the ``bench`` scale):
+
+* the sequential reference loop (serial backend, cache off) -- this is the
+  seed repository's original execution model,
+* the thread backend evaluating a whole policy batch concurrently,
+* a warm-cache replay, where every episode is served from the
+  content-addressed evaluation cache.
+
+Reports the thread-backend speedup and the warm-run cache hit-rate, and
+asserts the engine's two headline guarantees: backend-independent rewards
+and training-free cache replays.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.core import FaHaNaConfig, FaHaNaSearch, ProducerConfig
+from repro.core.api import default_design_spec
+from repro.core.policy import PolicyGradientConfig
+from repro.engine import EngineConfig, EvaluationCache, SearchEngine
+from repro.experiments.common import prepare_data
+from repro.nn.trainer import TrainingConfig
+
+EPISODES = 4
+
+
+def _make_search(preset, splits) -> FaHaNaSearch:
+    config = FaHaNaConfig(
+        episodes=EPISODES,
+        seed=0,
+        producer=ProducerConfig(
+            backbone="MobileNetV2",
+            freeze=True,
+            pretrain_epochs=preset.pretrain_epochs,
+            width_multiplier=preset.width_multiplier,
+            max_searchable=preset.max_searchable,
+        ),
+        # One policy batch spans the whole run, so every backend evaluates
+        # the same sampled children and parallelism is observable.
+        policy=PolicyGradientConfig(batch_episodes=EPISODES),
+        child_training=TrainingConfig(
+            epochs=preset.child_epochs, batch_size=preset.batch_size, seed=0
+        ),
+    )
+    return FaHaNaSearch(
+        splits.train, splits.validation, default_design_spec(), config
+    )
+
+
+def _timed_run(engine: SearchEngine):
+    start = time.perf_counter()
+    result = engine.run()
+    return result, time.perf_counter() - start
+
+
+def test_bench_engine(benchmark, bench_preset):
+    splits = prepare_data(bench_preset, seed=0).splits
+
+    def harness():
+        serial, serial_seconds = _timed_run(
+            SearchEngine(_make_search(bench_preset, splits), EngineConfig())
+        )
+        threaded, thread_seconds = _timed_run(
+            SearchEngine(
+                _make_search(bench_preset, splits),
+                EngineConfig(backend="thread", num_workers=2),
+            )
+        )
+        cache = EvaluationCache(capacity=256)
+        SearchEngine(
+            _make_search(bench_preset, splits),
+            EngineConfig(use_cache=True, cache=cache),
+        ).run()
+        warm_engine = SearchEngine(
+            _make_search(bench_preset, splits),
+            EngineConfig(use_cache=True, cache=cache),
+        )
+        warm, warm_seconds = _timed_run(warm_engine)
+        return {
+            "serial": serial,
+            "threaded": threaded,
+            "warm": warm,
+            "serial_seconds": serial_seconds,
+            "thread_seconds": thread_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_evaluations": warm_engine.evaluations_run,
+            "warm_hit_rate": cache.hit_rate,
+        }
+
+    outcome = run_once(benchmark, harness)
+
+    # Backend independence: identical rewards regardless of execution backend.
+    assert (
+        outcome["serial"].history.reward_trajectory()
+        == outcome["threaded"].history.reward_trajectory()
+    )
+    # A warm cache replays the search without a single training run.
+    assert outcome["warm_evaluations"] == 0
+    assert all(record.cache_hit for record in outcome["warm"].history.records)
+
+    print(
+        f"\nengine bench ({EPISODES} episodes): "
+        f"serial {outcome['serial_seconds']:.2f}s, "
+        f"thread {outcome['thread_seconds']:.2f}s "
+        f"(speedup x{outcome['serial_seconds'] / max(outcome['thread_seconds'], 1e-9):.2f}), "
+        f"warm cache {outcome['warm_seconds']:.2f}s "
+        f"(hit rate {outcome['warm_hit_rate']:.0%})"
+    )

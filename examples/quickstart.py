@@ -8,11 +8,14 @@ objects in the order a user would meet them:
 2. build a reference architecture from the zoo at a reduced training scale,
 3. train it and evaluate overall accuracy, per-group accuracy and the
    paper's unfairness score,
-4. price the same architecture on the Raspberry Pi / Odroid latency models.
+4. price the same architecture on the Raspberry Pi / Odroid latency models,
+5. run a tiny engine-backed architecture search with evaluation memoization.
 """
 
 from __future__ import annotations
 
+from repro.core import run_engine_search
+from repro.core.api import default_design_spec
 from repro.data import DermatologyConfig, DermatologyGenerator, normalize_images, stratified_split
 from repro.fairness import evaluate_fairness
 from repro.hardware import ODROID_XU4, RASPBERRY_PI_4, estimate_latency_ms
@@ -52,6 +55,34 @@ def main() -> None:
     print(
         f"deployment estimate: {descriptor.storage_mb():.2f} MB, "
         f"{pi:.0f} ms on Raspberry Pi 4, {odroid:.0f} ms on Odroid XU-4"
+    )
+
+    # 5. Search: a few engine-backed NAS episodes.  The serial backend with
+    #    the content-addressed cache is the default way to run searches:
+    #    repeated controller samples return memoized evaluations instead of
+    #    re-training (switch backend="thread" to evaluate batches in
+    #    parallel).
+    result, engine = run_engine_search(
+        splits.train,
+        splits.validation,
+        # Relaxed timing constraint so the demo's sampled children qualify
+        # for training (the paper's 1500 ms budget rejects most of the wide
+        # children an untrained controller proposes).
+        default_design_spec(timing_constraint_ms=4000.0),
+        episodes=4,
+        backend="serial",
+        use_cache=True,
+        child_epochs=2,
+        pretrain_epochs=1,
+        max_searchable=2,
+        width_multiplier=0.25,
+        seed=0,
+    )
+    print("\nengine search summary:")
+    print(result.summary())
+    print(
+        f"engine: {engine.evaluations_run} evaluations run, "
+        f"{engine.cache_hits} cache hits"
     )
 
 

@@ -264,6 +264,23 @@ class BlockSpec:
         """Multiply-accumulate count at the given input resolution."""
         return float(sum(op.macs for op in self.op_costs(height, width)))
 
+    def cache_key(self) -> str:
+        """Canonical content fingerprint of the block specification."""
+        from repro.utils.fingerprint import content_fingerprint
+
+        return content_fingerprint(
+            {
+                "kind": "BlockSpec",
+                "block_type": self.block_type,
+                "ch_in": self.ch_in,
+                "ch_mid": self.ch_mid,
+                "ch_out": self.ch_out,
+                "kernel": self.kernel,
+                "stride": self.stride,
+                "se_ratio": self.se_ratio,
+            }
+        )
+
     # -- helpers ------------------------------------------------------------------
     def scaled(self, width_multiplier: float) -> "BlockSpec":
         """Return a copy with channel counts scaled (used by training presets)."""
@@ -322,6 +339,20 @@ class StemSpec:
     def param_count(self) -> int:
         return int(sum(op.params for op in self.op_costs(8, 8)))
 
+    def cache_key(self) -> str:
+        """Canonical content fingerprint of the stem specification."""
+        from repro.utils.fingerprint import content_fingerprint
+
+        return content_fingerprint(
+            {
+                "kind": "StemSpec",
+                "ch_in": self.ch_in,
+                "ch_out": self.ch_out,
+                "kernel": self.kernel,
+                "stride": self.stride,
+            }
+        )
+
 
 @dataclass(frozen=True)
 class ClassifierSpec:
@@ -372,6 +403,19 @@ class ClassifierSpec:
 
     def param_count(self) -> int:
         return int(sum(op.params for op in self.op_costs(8, 8)))
+
+    def cache_key(self) -> str:
+        """Canonical content fingerprint of the classifier specification."""
+        from repro.utils.fingerprint import content_fingerprint
+
+        return content_fingerprint(
+            {
+                "kind": "ClassifierSpec",
+                "ch_in": self.ch_in,
+                "num_classes": self.num_classes,
+                "hidden_features": self.hidden_features,
+            }
+        )
 
 
 def _bn_cost(channels: int, hw: int) -> OpCost:

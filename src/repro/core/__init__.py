@@ -25,7 +25,7 @@ from repro.core.evaluator import ChildEvaluator, EvaluationConfig, EvaluationRes
 from repro.core.results import EpisodeRecord, SearchHistory
 from repro.core.fahana import FaHaNaSearch, FaHaNaConfig
 from repro.core.monas import MonasSearch, MonasConfig
-from repro.core.api import run_fahana_search, run_monas_search
+from repro.core.api import run_engine_search, run_fahana_search, run_monas_search
 
 __all__ = [
     "SearchSpace",
@@ -51,6 +51,7 @@ __all__ = [
     "FaHaNaConfig",
     "MonasSearch",
     "MonasConfig",
+    "run_engine_search",
     "run_fahana_search",
     "run_monas_search",
 ]

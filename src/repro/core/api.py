@@ -8,7 +8,7 @@ them, and they are the recommended starting point for library users.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.core.fahana import FaHaNaConfig, FaHaNaResult, FaHaNaSearch
 from repro.core.monas import MonasConfig, MonasSearch
@@ -18,6 +18,9 @@ from repro.data.dermatology import DermatologyConfig, DermatologyGenerator
 from repro.hardware.constraints import DesignSpec, HardwareSpec, SoftwareSpec
 from repro.hardware.device import RASPBERRY_PI_4, DeviceProfile
 from repro.nn.trainer import TrainingConfig
+
+if TYPE_CHECKING:
+    from repro.engine.engine import EngineConfig, SearchEngine
 
 
 def default_design_spec(
@@ -40,6 +43,42 @@ def prepare_dataset(
     return stratified_split(dataset, rng=seed)
 
 
+def _fahana_config(
+    episodes: int = 20,
+    backbone: str = "MobileNetV2",
+    gamma: float = 0.5,
+    width_multiplier: float = 0.35,
+    child_epochs: int = 5,
+    pretrain_epochs: int = 5,
+    max_searchable: Optional[int] = None,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    seed: int = 0,
+    policy_batch: int = 1,
+    engine: Optional["EngineConfig"] = None,
+) -> FaHaNaConfig:
+    """The one place the high-level search defaults are defined."""
+    from repro.core.policy import PolicyGradientConfig
+
+    return FaHaNaConfig(
+        episodes=episodes,
+        alpha=alpha,
+        beta=beta,
+        seed=seed,
+        producer=ProducerConfig(
+            backbone=backbone,
+            freeze=True,
+            gamma=gamma,
+            pretrain_epochs=pretrain_epochs,
+            width_multiplier=width_multiplier,
+            max_searchable=max_searchable,
+        ),
+        policy=PolicyGradientConfig(batch_episodes=policy_batch),
+        child_training=TrainingConfig(epochs=child_epochs, seed=seed),
+        engine=engine,
+    )
+
+
 def run_fahana_search(
     train_dataset: GroupedDataset,
     validation_dataset: GroupedDataset,
@@ -54,27 +93,80 @@ def run_fahana_search(
     alpha: float = 1.0,
     beta: float = 1.0,
     seed: int = 0,
+    engine: Optional["EngineConfig"] = None,
 ) -> FaHaNaResult:
-    """Run a FaHaNa search with sensible defaults and return its result."""
-    config = FaHaNaConfig(
+    """Run a FaHaNa search with sensible defaults and return its result.
+
+    ``engine`` selects the execution layer (backend, evaluation cache,
+    checkpointing); None uses the process-wide default and ultimately the
+    plain serial engine, which matches the original sequential loop.
+    """
+    config = _fahana_config(
         episodes=episodes,
+        backbone=backbone,
+        gamma=gamma,
+        width_multiplier=width_multiplier,
+        child_epochs=child_epochs,
+        pretrain_epochs=pretrain_epochs,
+        max_searchable=max_searchable,
         alpha=alpha,
         beta=beta,
         seed=seed,
-        producer=ProducerConfig(
-            backbone=backbone,
-            freeze=True,
-            gamma=gamma,
-            pretrain_epochs=pretrain_epochs,
-            width_multiplier=width_multiplier,
-            max_searchable=max_searchable,
-        ),
-        child_training=TrainingConfig(epochs=child_epochs, seed=seed),
+        engine=engine,
     )
     search = FaHaNaSearch(
         train_dataset, validation_dataset, design_spec or default_design_spec(), config
     )
     return search.run()
+
+
+def run_engine_search(
+    train_dataset: GroupedDataset,
+    validation_dataset: GroupedDataset,
+    design_spec: Optional[DesignSpec] = None,
+    episodes: int = 20,
+    backend: str = "serial",
+    num_workers: int = 2,
+    batch_episodes: Optional[int] = None,
+    use_cache: bool = True,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_every: int = 0,
+    engine: Optional["EngineConfig"] = None,
+    **search_kwargs,
+) -> Tuple[FaHaNaResult, "SearchEngine"]:
+    """Run a FaHaNa search on an explicitly configured engine.
+
+    Returns ``(result, engine)`` so callers can inspect execution statistics
+    (cache hit rate, evaluations actually run, checkpoints written).  A full
+    :class:`EngineConfig` passed as ``engine`` takes precedence over the
+    individual ``backend``/``use_cache``/... shortcuts.  Extra keyword
+    arguments are forwarded to :func:`_fahana_config` -- the same knobs and
+    defaults as :func:`run_fahana_search` (``backbone``, ``child_epochs``,
+    ``seed``, ...).  ``resume=True`` continues from the checkpoint in the
+    run directory.
+    """
+    from repro.engine.engine import EngineConfig, SearchEngine
+
+    engine_config = engine or EngineConfig(
+        backend=backend,
+        num_workers=num_workers,
+        batch_episodes=batch_episodes,
+        use_cache=use_cache,
+        run_dir=run_dir,
+        checkpoint_every=checkpoint_every,
+    )
+    search_kwargs.setdefault(
+        "policy_batch", engine_config.batch_episodes or 1
+    )
+    config = _fahana_config(episodes=episodes, **search_kwargs)
+    search = FaHaNaSearch(
+        train_dataset, validation_dataset, design_spec or default_design_spec(), config
+    )
+    search_engine = SearchEngine(search, engine_config)
+    if resume:
+        search_engine.restore()
+    return search_engine.run(), search_engine
 
 
 def run_monas_search(

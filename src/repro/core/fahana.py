@@ -5,13 +5,18 @@ child architecture from the block-based search space, the producer
 materialises it around the frozen backbone header, the evaluator prices /
 trains / scores it, and the resulting reward (Eq. 1) updates the controller
 with the Monte-Carlo policy gradient (Eq. 2).
+
+Execution is delegated to :mod:`repro.engine`: the default engine
+configuration (serial backend, no cache) reproduces the original sequential
+loop bit for bit, while an explicit :class:`~repro.engine.EngineConfig`
+unlocks parallel episode batches, evaluation memoization and
+checkpoint/resume.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.controller import LSTMController
 from repro.core.evaluator import ChildEvaluator, EvaluationConfig
@@ -26,6 +31,9 @@ from repro.hardware.constraints import DesignSpec
 from repro.hardware.latency import LatencyEstimator
 from repro.nn.trainer import TrainingConfig
 from repro.utils.rng import SeedLike, spawn_rngs
+
+if TYPE_CHECKING:
+    from repro.engine.engine import EngineConfig
 
 
 @dataclass
@@ -43,6 +51,10 @@ class FaHaNaConfig:
     child_training: TrainingConfig = field(
         default_factory=lambda: TrainingConfig(epochs=5)
     )
+    # Execution knobs (backend, cache, checkpointing); None falls back to the
+    # process-wide default and ultimately to the plain serial engine, which
+    # matches the original sequential loop exactly.
+    engine: Optional["EngineConfig"] = None
 
     def __post_init__(self) -> None:
         if self.episodes <= 0:
@@ -150,43 +162,14 @@ class FaHaNaSearch:
 
     # -- search loop ------------------------------------------------------------------
     def run(self, episodes: Optional[int] = None) -> FaHaNaResult:
-        """Run the search and return the history plus the headline networks."""
-        num_episodes = episodes or self.config.episodes
-        history = SearchHistory(
-            space_size=self.producer.space_size(),
-            full_space_size=self.producer.full_space_size(),
-            frozen_blocks=self.producer.split_block,
-            searchable_blocks=len(self.producer.positions),
-        )
-        start = time.perf_counter()
-        for episode in range(num_episodes):
-            episode_start = time.perf_counter()
-            sample = self.controller.sample(rng=self._sample_rng)
-            child = self.producer.produce(sample.decisions, rng=self._child_rng)
-            evaluation = self.evaluator.evaluate(child)
-            self.policy_trainer.observe(sample, evaluation.reward)
-            history.append(
-                EpisodeRecord(
-                    episode=episode,
-                    descriptor=child.descriptor,
-                    decisions=[spec.describe() for spec in child.descriptor.blocks],
-                    reward=evaluation.reward,
-                    accuracy=evaluation.accuracy,
-                    unfairness=evaluation.unfairness,
-                    latency_ms=evaluation.latency_ms,
-                    storage_mb=evaluation.storage_mb,
-                    num_parameters=evaluation.num_parameters,
-                    trained=evaluation.trained,
-                    group_accuracy=evaluation.group_accuracy,
-                    elapsed_seconds=time.perf_counter() - episode_start,
-                )
-            )
-        self.policy_trainer.apply_update()
-        history.total_seconds = time.perf_counter() - start
-        return FaHaNaResult(
-            history=history,
-            best=history.best_record(),
-            fairest=history.fairest_record(),
-            smallest=history.smallest_record(),
-            freezing_analysis=self.producer.analysis,
-        )
+        """Run the search and return the history plus the headline networks.
+
+        Delegates to :class:`repro.engine.SearchEngine`; with the default
+        engine configuration this is the original sample -> produce ->
+        evaluate -> observe loop, bit for bit.
+        """
+        # Imported lazily: the engine builds on core, not the other way round.
+        from repro.engine.engine import SearchEngine, resolve_engine_config
+
+        engine = SearchEngine(self, config=resolve_engine_config(self.config.engine))
+        return engine.run(episodes)

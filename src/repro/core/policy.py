@@ -10,7 +10,7 @@ per-step credit and ``b`` an exponential moving average of past rewards.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -58,6 +58,28 @@ class PolicyGradientTrainer:
     def baseline(self) -> float:
         """Current exponential-moving-average reward baseline."""
         return 0.0 if self._baseline is None else self._baseline
+
+    @property
+    def pending_episodes(self) -> int:
+        """Episodes observed but not yet folded into a gradient update."""
+        return len(self._pending)
+
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Baseline and optimiser state (valid only between batch updates)."""
+        if self._pending:
+            raise ValueError(
+                "cannot checkpoint a policy trainer with pending episodes; "
+                "call apply_update() first or checkpoint at a batch boundary"
+            )
+        return {"baseline": self._baseline, "optimizer": self._optimizer.state_dict()}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore the state previously captured by :meth:`state_dict`."""
+        baseline = state["baseline"]
+        self._baseline = None if baseline is None else float(baseline)
+        self._optimizer.load_state_dict(state["optimizer"])
+        self._pending = []
 
     def update_baseline(self, reward: float) -> float:
         """Fold one observed reward into the EMA baseline and return it."""

@@ -157,6 +157,12 @@ class BackboneProducer:
         return self._analysis
 
     @property
+    def backbone_model(self) -> Optional[Sequential]:
+        """The pre-trained backbone model (None when freezing is off)."""
+        self._ensure_prepared()
+        return self._backbone_model
+
+    @property
     def split_block(self) -> int:
         """Index of the first searchable backbone block."""
         self._ensure_prepared()
@@ -181,20 +187,23 @@ class BackboneProducer:
     def full_space_size(self) -> float:
         """Search-space size without freezing (every backbone position searchable)."""
         resolution = self.backbone.input_resolution
-        height, _ = self.backbone.stem.output_spatial(resolution, resolution)
+        height, width = self.backbone.stem.output_spatial(resolution, resolution)
         positions = []
         for index, block in enumerate(self.backbone.blocks):
             positions.append(
                 SearchPosition(index=index, stride=block.stride, input_resolution=height)
             )
-            height, _ = block.output_spatial(height, height)
+            height, width = block.output_spatial(height, width)
         return self.search_space.space_size(positions)
 
     # -- child construction -------------------------------------------------------------
-    def produce(
-        self, decisions: Sequence[BlockDecision], rng: SeedLike = None
-    ) -> ChildArchitecture:
-        """Materialise the child network described by the controller decisions."""
+    def describe_child(self, decisions: Sequence[BlockDecision]) -> ArchitectureDescriptor:
+        """Build only the child's descriptor, without instantiating a model.
+
+        The engine's evaluation cache uses this to fingerprint a sampled child
+        before deciding whether the (expensive) model build and training are
+        needed at all.
+        """
         self._ensure_prepared()
         if len(decisions) != len(self._positions):
             raise ValueError(
@@ -208,9 +217,15 @@ class BackboneProducer:
         searched_specs = self.search_space.decisions_to_specs(
             self._positions, list(decisions), tail_ch_in
         )
-        descriptor = self.backbone.with_blocks(
+        return self.backbone.with_blocks(
             frozen_specs + searched_specs, name="FaHaNa-child"
         )
+
+    def produce(
+        self, decisions: Sequence[BlockDecision], rng: SeedLike = None
+    ) -> ChildArchitecture:
+        """Materialise the child network described by the controller decisions."""
+        descriptor = self.describe_child(decisions)
 
         seed = (
             int(new_rng(rng).integers(0, 2**31 - 1))

@@ -26,6 +26,10 @@ class EpisodeRecord:
     trained: bool
     group_accuracy: Dict[str, float] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    # Provenance (filled in by the engine): whether the evaluation came from
+    # the content-addressed cache, and which worker produced it.
+    cache_hit: bool = False
+    worker: str = ""
 
     @property
     def is_valid(self) -> bool:

@@ -1,0 +1,107 @@
+"""Content-addressed evaluation cache.
+
+The controller frequently re-samples architectures it has already proposed --
+especially late in a search, when the policy has sharpened.  Re-training such
+a child wastes the entire evaluation budget, so the engine memoizes
+:class:`~repro.core.evaluator.EvaluationResult` objects under a canonical
+fingerprint of the child's :class:`~repro.zoo.descriptors.ArchitectureDescriptor`
+combined with an evaluation-context fingerprint (training and reward
+configuration, device, dataset contents).  This generalises the paper's
+"price before train" acceleration: pricing rejects children that would fail
+the timing constraint, the cache rejects children that have already been
+measured.
+
+The cache is an in-memory LRU with optional on-disk persistence (one JSON
+file per entry under ``directory``), so long searches can reuse evaluations
+across process restarts.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.evaluator import EvaluationResult
+from repro.engine.serde import result_from_dict, result_to_dict
+from repro.utils.serialization import load_json, save_json
+
+
+class EvaluationCache:
+    """LRU cache mapping content fingerprints to evaluation results."""
+
+    def __init__(self, capacity: int = 1024, directory: Optional[str] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, EvaluationResult]" = OrderedDict()
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries or self._on_disk(key)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- lookup / insert ---------------------------------------------------------
+    def get(self, key: str) -> Optional[EvaluationResult]:
+        """Return the memoized result for ``key``, or None on a miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        if self.directory is not None and self._on_disk(key):
+            entry = result_from_dict(load_json(self._entry_path(key)))
+            self._insert(key, entry)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: EvaluationResult) -> None:
+        """Memoize ``result`` under ``key`` (and persist it when configured)."""
+        self._insert(key, result)
+        if self.directory is not None:
+            save_json(self._entry_path(key), result_to_dict(result))
+
+    def _insert(self, key: str, result: EvaluationResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    # -- persistence --------------------------------------------------------------
+    def _entry_path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"{key}.json")
+
+    def _on_disk(self, key: str) -> bool:
+        return self.directory is not None and os.path.exists(self._entry_path(key))
+
+    # -- checkpointing ------------------------------------------------------------
+    def snapshot(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """The in-memory entries in LRU order (oldest first), JSON-encodable."""
+        return [(key, result_to_dict(result)) for key, result in self._entries.items()]
+
+    def restore(self, entries: List[Tuple[str, Dict[str, Any]]]) -> None:
+        """Replace the in-memory entries with a :meth:`snapshot` payload."""
+        self._entries.clear()
+        for key, payload in entries:
+            self._insert(str(key), result_from_dict(payload))
+
+    def clear(self) -> None:
+        """Drop all in-memory entries and reset the statistics."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

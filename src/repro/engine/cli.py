@@ -1,0 +1,182 @@
+"""``repro-search``: run an engine-backed FaHaNa search from the command line.
+
+A small end-to-end search on the synthetic dermatology dataset, sized so the
+default invocation finishes in about a minute on a laptop CPU:
+
+    repro-search --episodes 10 --backend thread --workers 2 --run-dir runs/demo
+
+Interrupted runs continue from the last checkpoint with ``--resume``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.api import default_design_spec
+from repro.core.fahana import FaHaNaConfig, FaHaNaSearch
+from repro.core.policy import PolicyGradientConfig
+from repro.core.producer import ProducerConfig
+from repro.data.dataset import stratified_split
+from repro.data.dermatology import DermatologyConfig, DermatologyGenerator
+from repro.engine.checkpoint import has_checkpoint
+from repro.engine.engine import EngineConfig, SearchEngine
+from repro.engine.workers import BACKENDS
+from repro.nn.trainer import TrainingConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-search",
+        description="Fairness- and hardware-aware NAS with the search engine "
+        "(parallel episodes, evaluation cache, checkpoint/resume).",
+    )
+    parser.add_argument("--episodes", type=int, default=10, help="search episodes")
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="serial", help="worker-pool backend"
+    )
+    parser.add_argument("--workers", type=int, default=2, help="worker count")
+    parser.add_argument(
+        "--batch-episodes",
+        type=int,
+        default=None,
+        help="episodes per wave (default: the policy batch size)",
+    )
+    parser.add_argument(
+        "--policy-batch",
+        type=int,
+        default=4,
+        help="policy-gradient batch size (waves of this many episodes "
+        "evaluate concurrently)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="global seed")
+    parser.add_argument(
+        "--timing-constraint-ms",
+        type=float,
+        default=1500.0,
+        help="hardware timing constraint TC",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the evaluation cache"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist the evaluation cache here (shared across runs)",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help="directory for checkpoints and JSONL telemetry",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the checkpoint in --run-dir",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="checkpoint cadence in episodes (0 = final checkpoint only)",
+    )
+    # Dataset / training scale knobs (defaults sized for a quick demo run).
+    parser.add_argument("--image-size", type=int, default=16, help="image resolution")
+    parser.add_argument(
+        "--samples-per-class", type=int, default=16, help="majority-group samples"
+    )
+    parser.add_argument("--child-epochs", type=int, default=2, help="child train epochs")
+    parser.add_argument(
+        "--pretrain-epochs", type=int, default=2, help="backbone pretrain epochs"
+    )
+    parser.add_argument(
+        "--max-searchable", type=int, default=3, help="cap on searchable positions"
+    )
+    parser.add_argument(
+        "--width-multiplier", type=float, default=0.25, help="training-scale width"
+    )
+    return parser
+
+
+def build_search(args: argparse.Namespace) -> FaHaNaSearch:
+    """Construct the dataset and search from parsed CLI arguments."""
+    dataset = DermatologyGenerator(
+        DermatologyConfig(
+            image_size=args.image_size,
+            samples_per_class_majority=args.samples_per_class,
+            minority_fraction=0.5,
+            seed=args.seed,
+        )
+    ).generate()
+    splits = stratified_split(dataset, rng=args.seed)
+    config = FaHaNaConfig(
+        episodes=args.episodes,
+        seed=args.seed,
+        producer=ProducerConfig(
+            backbone="MobileNetV2",
+            freeze=True,
+            pretrain_epochs=args.pretrain_epochs,
+            width_multiplier=args.width_multiplier,
+            max_searchable=args.max_searchable,
+        ),
+        policy=PolicyGradientConfig(batch_episodes=args.policy_batch),
+        child_training=TrainingConfig(
+            epochs=args.child_epochs, batch_size=16, seed=args.seed
+        ),
+    )
+    spec = default_design_spec(timing_constraint_ms=args.timing_constraint_ms)
+    return FaHaNaSearch(splits.train, splits.validation, spec, config)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.resume and (args.run_dir is None or not has_checkpoint(args.run_dir)):
+        print("error: --resume needs a --run-dir holding a checkpoint", file=sys.stderr)
+        return 2
+
+    try:
+        engine_config = EngineConfig(
+            backend=args.backend,
+            num_workers=args.workers,
+            batch_episodes=args.batch_episodes,
+            use_cache=not args.no_cache,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            run_dir=args.run_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+        print(
+            f"search: {args.episodes} episodes, backend={args.backend} "
+            f"(workers={args.workers}), cache={'off' if args.no_cache else 'on'}"
+            + (f", run_dir={args.run_dir}" if args.run_dir else "")
+        )
+        search = build_search(args)
+        engine = SearchEngine(search, engine_config)
+        if args.resume:
+            start = engine.restore()
+            print(f"resumed from episode {start}")
+        result = engine.run()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print("\n== search summary ==")
+    print(result.summary())
+    print(
+        f"\nengine: {engine.evaluations_run} evaluations run, "
+        f"{engine.cache_hits} cache hits"
+        + (
+            f" (hit rate {engine.cache.hit_rate:.1%})"
+            if engine.cache is not None
+            else ""
+        )
+        + f", {engine.checkpoints_written} checkpoints"
+    )
+    if result.best is not None:
+        print("\n== best searched architecture ==")
+        print(result.best.descriptor.describe())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

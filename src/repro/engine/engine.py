@@ -1,0 +1,505 @@
+"""The search engine: the execution layer between controller and evaluator.
+
+:class:`SearchEngine` drives a :class:`~repro.core.fahana.FaHaNaSearch`
+(or its MONAS subclass) through the same protocol as the original
+sequential loop -- sample, produce, evaluate, observe -- but adds the three
+scaling features the seed loop lacked:
+
+1. **Batched parallel evaluation.**  Episodes are sampled up front in waves
+   of ``batch_episodes`` children and evaluated concurrently on a pluggable
+   worker pool.  Controller sampling draws from the sample-RNG stream and
+   child weight initialisation from the child-RNG stream in strict episode
+   order, and rewards are fed back to the policy trainer in episode order,
+   so a run is bit-for-bit reproducible regardless of backend -- provided
+   the wave size does not exceed ``PolicyGradientConfig.batch_episodes``
+   (within one policy batch the controller's parameters are constant, which
+   is exactly what makes the evaluations independent).
+
+2. **Content-addressed memoization.**  With a cache configured, each sampled
+   child is fingerprinted (descriptor ``cache_key()`` + evaluation context)
+   before any model is built; repeats return the memoized result without
+   training.  A cache-hit episode still consumes one child-RNG draw so the
+   stream stays aligned with an uncached run.
+
+3. **Checkpoint/resume.**  With a ``run_dir`` configured, the engine
+   snapshots controller weights, optimiser/baseline state, both RNG streams,
+   the cache and the search history at batch boundaries, and can restore a
+   search mid-flight via :meth:`SearchEngine.resume`.
+
+Every observable step is announced on an event bus (JSONL telemetry when a
+run directory is configured).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.controller import ControllerSample
+from repro.core.evaluator import ChildEvaluator, EvaluationResult
+from repro.core.fahana import FaHaNaResult, FaHaNaSearch
+from repro.core.producer import ChildArchitecture
+from repro.core.results import EpisodeRecord, SearchHistory
+from repro.engine import checkpoint as checkpoint_io
+from repro.engine.cache import EvaluationCache
+from repro.engine.events import (
+    BATCH_FINISHED,
+    CACHE_HIT,
+    CHECKPOINT_WRITTEN,
+    EPISODE_FINISHED,
+    RUN_FINISHED,
+    RUN_STARTED,
+    EngineEvent,
+    EventBus,
+    JsonlTelemetry,
+)
+from repro.engine.workers import BACKENDS, WorkerPool, create_pool
+from repro.utils.fingerprint import (
+    array_fingerprint,
+    combine_fingerprints,
+    content_fingerprint,
+)
+from repro.zoo.descriptors import ArchitectureDescriptor
+
+
+@dataclass
+class EngineConfig:
+    """Execution knobs of the engine (orthogonal to the search's own config)."""
+
+    backend: str = "serial"
+    num_workers: int = 2
+    # Episodes sampled and evaluated per wave; None uses the policy trainer's
+    # batch size, which preserves exact sequential-loop semantics.
+    batch_episodes: Optional[int] = None
+    use_cache: bool = False
+    cache: Optional[EvaluationCache] = None
+    cache_capacity: int = 1024
+    cache_dir: Optional[str] = None
+    run_dir: Optional[str] = None
+    # Write a checkpoint whenever at least this many episodes completed since
+    # the last one (0 = only the final checkpoint, when run_dir is set).
+    checkpoint_every: int = 0
+    telemetry: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.batch_episodes is not None and self.batch_episodes <= 0:
+            raise ValueError("batch_episodes must be positive when given")
+        if self.cache_capacity <= 0:
+            raise ValueError("cache_capacity must be positive")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+
+
+# -- module-level default (installed by harnesses, e.g. the benchmark suite) -------
+_default_engine_config: Optional[EngineConfig] = None
+
+
+def set_default_engine_config(
+    config: Optional[EngineConfig],
+) -> Optional[EngineConfig]:
+    """Install a process-wide default engine config; returns the previous one."""
+    global _default_engine_config
+    previous = _default_engine_config
+    _default_engine_config = config
+    return previous
+
+
+def get_default_engine_config() -> Optional[EngineConfig]:
+    """The currently installed process-wide default (None when unset)."""
+    return _default_engine_config
+
+
+def resolve_engine_config(explicit: Optional[EngineConfig] = None) -> EngineConfig:
+    """Pick the engine config: explicit > process default > plain serial."""
+    if explicit is not None:
+        return explicit
+    if _default_engine_config is not None:
+        return _default_engine_config
+    return EngineConfig()
+
+
+@dataclass
+class _EpisodeJob:
+    """One episode of a wave, from sample to evaluation."""
+
+    episode: int
+    sample: ControllerSample
+    descriptor: ArchitectureDescriptor
+    cache_key: Optional[str] = None
+    child: Optional[ChildArchitecture] = None
+    evaluation: Optional[EvaluationResult] = None
+    cache_hit: bool = False
+    worker: str = ""
+    elapsed_seconds: float = 0.0
+
+
+def _evaluate_payload(
+    payload: Tuple[ChildEvaluator, ChildArchitecture],
+) -> Tuple[EvaluationResult, float]:
+    """Worker task: evaluate one child (module-level so it pickles)."""
+    evaluator, child = payload
+    start = time.perf_counter()
+    result = evaluator.evaluate(child)
+    return result, time.perf_counter() - start
+
+
+class SearchEngine:
+    """Executes a FaHaNa/MONAS search with batching, caching and checkpoints."""
+
+    def __init__(self, search: FaHaNaSearch, config: Optional[EngineConfig] = None):
+        self.search = search
+        self.config = config or EngineConfig()
+        self.events = EventBus()
+        self.cache = self._build_cache()
+        # Computed on first use: hashing the datasets and backbone weights is
+        # O(bytes) work the default no-cache/no-checkpoint path never needs.
+        self._context_key: Optional[str] = None
+        self.evaluations_run = 0
+        self.checkpoints_written = 0
+        self._restored_history: Optional[SearchHistory] = None
+        self._restored_seconds = 0.0
+        self._next_episode = 0
+        if self.config.run_dir is not None:
+            os.makedirs(self.config.run_dir, exist_ok=True)
+            if self.config.telemetry:
+                self.events.subscribe(
+                    JsonlTelemetry(os.path.join(self.config.run_dir, "telemetry.jsonl"))
+                )
+
+    # -- construction helpers -----------------------------------------------------
+    def _build_cache(self) -> Optional[EvaluationCache]:
+        config = self.config
+        if config.cache is not None:
+            return config.cache
+        if config.use_cache or config.cache_dir is not None:
+            return EvaluationCache(
+                capacity=config.cache_capacity, directory=config.cache_dir
+            )
+        return None
+
+    @property
+    def context_key(self) -> str:
+        """The evaluation-context fingerprint (computed lazily, then cached)."""
+        if self._context_key is None:
+            self._context_key = self._compute_context_key()
+        return self._context_key
+
+    def _compute_context_key(self) -> str:
+        """Fingerprint of everything besides the descriptor that shapes a result.
+
+        Fairness metrics depend on the demographic group arrays, and a
+        trained child's accuracy depends on the frozen-prefix weights copied
+        from the pre-trained backbone, so both are part of the context: runs
+        that differ only in group assignment or backbone pre-training must
+        not share cache entries.
+        """
+        search = self.search
+        evaluator = search.evaluator
+        backbone_model = search.producer.backbone_model
+        backbone_weights = (
+            None
+            if backbone_model is None
+            else {
+                name: array_fingerprint(value)
+                for name, value in sorted(backbone_model.state_dict().items())
+            }
+        )
+        return content_fingerprint(
+            {
+                "training": asdict(evaluator.config.training),
+                "reward": asdict(evaluator.config.reward),
+                "bypass_invalid": evaluator.config.bypass_invalid,
+                "device": evaluator.latency_estimator.device.name,
+                "resolution": evaluator.latency_estimator.resolution,
+                "width_multiplier": search.config.producer.width_multiplier,
+                "split_block": search.producer.split_block,
+                "backbone_weights": backbone_weights,
+                "num_classes": search.train_dataset.num_classes,
+                "train_data": array_fingerprint(search.train_dataset.images),
+                "train_labels": array_fingerprint(search.train_dataset.labels),
+                "train_groups": array_fingerprint(search.train_dataset.groups),
+                "validation_data": array_fingerprint(search.validation_dataset.images),
+                "validation_labels": array_fingerprint(
+                    search.validation_dataset.labels
+                ),
+                "validation_groups": array_fingerprint(
+                    search.validation_dataset.groups
+                ),
+                "group_names": list(search.validation_dataset.group_names),
+            }
+        )
+
+    def child_cache_key(self, descriptor: ArchitectureDescriptor) -> str:
+        """Full cache key of one child under this engine's evaluation context."""
+        return combine_fingerprints(descriptor.cache_key(), self.context_key)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits if self.cache is not None else 0
+
+    # -- checkpoint / resume ------------------------------------------------------
+    def restore(self, run_dir: Optional[str] = None) -> int:
+        """Load a checkpoint and position the engine to continue from it.
+
+        Returns the next episode index.  Must be called before :meth:`run` on
+        a freshly constructed search configured identically to the one that
+        wrote the checkpoint.
+        """
+        directory = run_dir or self.config.run_dir
+        if directory is None:
+            raise ValueError("restore needs a run directory (config.run_dir or arg)")
+        checkpoint = checkpoint_io.load_checkpoint(directory)
+        next_episode, history = checkpoint_io.restore_checkpoint(
+            checkpoint,
+            context_key=self.context_key,
+            controller=self.search.controller,
+            policy_trainer=self.search.policy_trainer,
+            sample_rng=self.search._sample_rng,
+            child_rng=self.search._child_rng,
+            cache=self.cache,
+        )
+        self._restored_history = history
+        self._restored_seconds = history.total_seconds
+        self._next_episode = next_episode
+        return next_episode
+
+    @classmethod
+    def resume(
+        cls, search: FaHaNaSearch, config: Optional[EngineConfig] = None
+    ) -> "SearchEngine":
+        """Construct an engine and restore the checkpoint in its run directory."""
+        engine = cls(search, config)
+        engine.restore()
+        return engine
+
+    def _write_checkpoint(self, history: SearchHistory, elapsed: float) -> None:
+        assert self.config.run_dir is not None
+        history.total_seconds = self._restored_seconds + elapsed
+        path = checkpoint_io.save_checkpoint(
+            self.config.run_dir,
+            next_episode=self._next_episode,
+            context_key=self.context_key,
+            controller=self.search.controller,
+            policy_trainer=self.search.policy_trainer,
+            sample_rng=self.search._sample_rng,
+            child_rng=self.search._child_rng,
+            history=history,
+            cache=self.cache,
+        )
+        self.checkpoints_written += 1
+        self._emit(
+            CHECKPOINT_WRITTEN,
+            payload={"path": path, "next_episode": self._next_episode},
+        )
+
+    # -- the search loop ----------------------------------------------------------
+    def run(self, episodes: Optional[int] = None) -> FaHaNaResult:
+        """Run (or continue) the search up to ``episodes`` total episodes."""
+        search = self.search
+        num_episodes = episodes or search.config.episodes
+        policy_batch = search.config.policy.batch_episodes
+        wave_size = self.config.batch_episodes or policy_batch
+        if wave_size > policy_batch:
+            # A wave samples all its children before any reward is observed;
+            # beyond the policy batch the sequential loop would already have
+            # updated the controller, so the runs would silently diverge.
+            raise ValueError(
+                f"engine batch_episodes ({wave_size}) must not exceed the "
+                f"policy-gradient batch_episodes ({policy_batch}); raise "
+                "PolicyGradientConfig.batch_episodes to evaluate larger waves"
+            )
+
+        if self._restored_history is not None:
+            history = self._restored_history
+        else:
+            history = SearchHistory(
+                space_size=search.producer.space_size(),
+                full_space_size=search.producer.full_space_size(),
+                frozen_blocks=search.producer.split_block,
+                searchable_blocks=len(search.producer.positions),
+            )
+        self._emit(
+            RUN_STARTED,
+            payload={
+                "backend": self.config.backend,
+                "episodes": num_episodes,
+                "start_episode": self._next_episode,
+                "wave_size": wave_size,
+                "cache": self.cache is not None,
+            },
+        )
+
+        start = time.perf_counter()
+        episodes_since_checkpoint = 0
+        pool = create_pool(self.config.backend, self.config.num_workers)
+        try:
+            while self._next_episode < num_episodes:
+                wave = min(wave_size, num_episodes - self._next_episode)
+                jobs = self._sample_wave(wave)
+                self._evaluate_wave(jobs, pool)
+                for job in jobs:
+                    self._observe(job, history)
+                self._next_episode += wave
+                episodes_since_checkpoint += wave
+                self._emit(
+                    BATCH_FINISHED,
+                    payload={
+                        "episodes_done": self._next_episode,
+                        "wave": wave,
+                        "backend": pool.name,
+                    },
+                )
+                if (
+                    self.config.run_dir is not None
+                    and self.config.checkpoint_every > 0
+                    and episodes_since_checkpoint >= self.config.checkpoint_every
+                    and search.policy_trainer.pending_episodes == 0
+                ):
+                    self._write_checkpoint(history, time.perf_counter() - start)
+                    episodes_since_checkpoint = 0
+        finally:
+            pool.close()
+
+        search.policy_trainer.apply_update()
+        history.total_seconds = self._restored_seconds + time.perf_counter() - start
+        if self.config.run_dir is not None:
+            self._write_checkpoint(history, time.perf_counter() - start)
+        self._emit(
+            RUN_FINISHED,
+            payload={
+                "episodes": len(history),
+                "evaluations_run": self.evaluations_run,
+                "cache_hits": self.cache_hits,
+                "total_seconds": history.total_seconds,
+            },
+        )
+        return FaHaNaResult(
+            history=history,
+            best=history.best_record(),
+            fairest=history.fairest_record(),
+            smallest=history.smallest_record(),
+            freezing_analysis=search.producer.analysis,
+        )
+
+    # -- wave phases --------------------------------------------------------------
+    def _sample_wave(self, wave: int) -> List[_EpisodeJob]:
+        """Sample/produce ``wave`` children in strict episode order."""
+        search = self.search
+        jobs: List[_EpisodeJob] = []
+        for offset in range(wave):
+            episode = self._next_episode + offset
+            sample = search.controller.sample(rng=search._sample_rng)
+            descriptor = search.producer.describe_child(sample.decisions)
+            job = _EpisodeJob(episode=episode, sample=sample, descriptor=descriptor)
+            if self.cache is not None:
+                job.cache_key = self.child_cache_key(descriptor)
+                cached = self.cache.get(job.cache_key)
+                if cached is not None:
+                    # Burn the draw produce() would have made so the child-RNG
+                    # stream stays aligned with a cache-off run.
+                    search._child_rng.integers(0, 2**31 - 1)
+                    job.evaluation = cached
+                    job.cache_hit = True
+                    job.worker = "cache"
+                    self._emit(
+                        CACHE_HIT,
+                        episode=episode,
+                        payload={"key": job.cache_key, "reward": cached.reward},
+                    )
+                    jobs.append(job)
+                    continue
+            job.child = search.producer.produce(sample.decisions, rng=search._child_rng)
+            jobs.append(job)
+        return jobs
+
+    def _evaluate_wave(self, jobs: List[_EpisodeJob], pool: WorkerPool) -> None:
+        """Evaluate the wave's cache misses concurrently, in episode order.
+
+        When caching is on, duplicate children *within* one wave train only
+        once: the first occurrence is evaluated and the repeats share its
+        result, exactly as they would have hit the cache with wave size 1.
+        (With caching off every child trains, matching the sequential loop.)
+        """
+        pending = [job for job in jobs if job.evaluation is None]
+        first_by_key: Dict[str, _EpisodeJob] = {}
+        unique: List[_EpisodeJob] = []
+        for job in pending:
+            if job.cache_key is not None and job.cache_key in first_by_key:
+                continue
+            if job.cache_key is not None:
+                first_by_key[job.cache_key] = job
+            unique.append(job)
+        if unique:
+            payloads = [(self.search.evaluator, job.child) for job in unique]
+            results = pool.map_ordered(_evaluate_payload, payloads)
+            for job, ((evaluation, elapsed), worker) in zip(unique, results):
+                job.evaluation = evaluation
+                job.worker = worker
+                job.elapsed_seconds = elapsed
+                self.evaluations_run += 1
+                if self.cache is not None and job.cache_key is not None:
+                    self.cache.put(job.cache_key, evaluation)
+        for job in pending:
+            if job.evaluation is None:  # an intra-wave repeat
+                primary = first_by_key[job.cache_key]
+                job.evaluation = primary.evaluation
+                job.cache_hit = True
+                job.worker = "cache"
+                self._emit(
+                    CACHE_HIT,
+                    episode=job.episode,
+                    payload={"key": job.cache_key, "reward": job.evaluation.reward},
+                )
+
+    def _observe(self, job: _EpisodeJob, history: SearchHistory) -> None:
+        """Feed one episode's reward back and record it (episode order)."""
+        assert job.evaluation is not None
+        evaluation = job.evaluation
+        self.search.policy_trainer.observe(job.sample, evaluation.reward)
+        history.append(
+            EpisodeRecord(
+                episode=job.episode,
+                descriptor=job.descriptor,
+                decisions=[spec.describe() for spec in job.descriptor.blocks],
+                reward=evaluation.reward,
+                accuracy=evaluation.accuracy,
+                unfairness=evaluation.unfairness,
+                latency_ms=evaluation.latency_ms,
+                storage_mb=evaluation.storage_mb,
+                num_parameters=evaluation.num_parameters,
+                trained=evaluation.trained,
+                group_accuracy=evaluation.group_accuracy,
+                elapsed_seconds=job.elapsed_seconds,
+                cache_hit=job.cache_hit,
+                worker=job.worker,
+            )
+        )
+        self._emit(
+            EPISODE_FINISHED,
+            episode=job.episode,
+            payload={
+                "reward": evaluation.reward,
+                "accuracy": evaluation.accuracy,
+                "unfairness": evaluation.unfairness,
+                "trained": evaluation.trained,
+                "cache_hit": job.cache_hit,
+                "worker": job.worker,
+            },
+        )
+
+    # -- events -------------------------------------------------------------------
+    def _emit(
+        self,
+        kind: str,
+        episode: Optional[int] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.events.emit(EngineEvent(kind=kind, episode=episode, payload=payload or {}))

@@ -1,0 +1,86 @@
+"""Engine event bus and JSONL telemetry.
+
+The engine announces everything observable about a run -- episodes
+finishing, cache hits, checkpoints being written -- as
+:class:`EngineEvent` objects on an :class:`EventBus`.  Consumers subscribe
+with plain callables; the built-in :class:`JsonlTelemetry` consumer appends
+one JSON line per event to ``<run_dir>/telemetry.jsonl`` so that external
+tooling (dashboards, tail -f, post-hoc analysis) can follow a search without
+touching engine internals.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+# Event kinds emitted by the engine.
+RUN_STARTED = "run-started"
+RUN_FINISHED = "run-finished"
+BATCH_FINISHED = "batch-finished"
+EPISODE_FINISHED = "episode-finished"
+CACHE_HIT = "cache-hit"
+CHECKPOINT_WRITTEN = "checkpoint-written"
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One observable engine occurrence."""
+
+    kind: str
+    episode: Optional[int] = None
+    payload: Dict[str, Any] = field(default_factory=dict)
+    timestamp: float = field(default_factory=time.time)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "episode": self.episode,
+            "timestamp": self.timestamp,
+            **self.payload,
+        }
+
+
+EventCallback = Callable[[EngineEvent], None]
+
+
+class EventBus:
+    """Minimal synchronous publish/subscribe hub."""
+
+    def __init__(self) -> None:
+        self._subscribers: List[tuple] = []
+
+    def subscribe(
+        self, callback: EventCallback, kinds: Optional[List[str]] = None
+    ) -> EventCallback:
+        """Register ``callback`` for ``kinds`` (or every kind when None)."""
+        self._subscribers.append((callback, None if kinds is None else set(kinds)))
+        return callback
+
+    def unsubscribe(self, callback: EventCallback) -> None:
+        """Remove every registration of ``callback``."""
+        self._subscribers = [
+            (cb, kinds) for cb, kinds in self._subscribers if cb is not callback
+        ]
+
+    def emit(self, event: EngineEvent) -> None:
+        """Deliver ``event`` to every matching subscriber, in order."""
+        for callback, kinds in list(self._subscribers):
+            if kinds is None or event.kind in kinds:
+                callback(event)
+
+
+class JsonlTelemetry:
+    """Event consumer appending one JSON line per event to a file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+
+    def __call__(self, event: EngineEvent) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")

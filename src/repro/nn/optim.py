@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
@@ -78,6 +78,27 @@ class SGD:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.lr = lr
+
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Momentum buffers in parameter order (zeros before the first step)."""
+        return {
+            "velocity": [
+                self._velocity.get(id(p), np.zeros_like(p.data)).copy()
+                for p in self.parameters
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore momentum buffers previously captured by :meth:`state_dict`."""
+        velocity = state["velocity"]
+        if len(velocity) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state holds {len(velocity)} buffers for "
+                f"{len(self.parameters)} parameters"
+            )
+        for param, buffer in zip(self.parameters, velocity):
+            self._velocity[id(param)] = np.asarray(buffer, dtype=np.float64).copy()
 
 
 class Adam:
@@ -166,3 +187,37 @@ class Adam:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.lr = lr
+
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Step count and moment estimates in parameter order.
+
+        Parameters that have never been stepped get zero buffers, which is
+        exactly the state Adam would lazily initialise for them, so the
+        round-trip is loss-free.
+        """
+        return {
+            "step": self._step,
+            "m": [
+                self._m.get(id(p), np.zeros_like(p.data)).copy()
+                for p in self.parameters
+            ],
+            "v": [
+                self._v.get(id(p), np.zeros_like(p.data)).copy()
+                for p in self.parameters
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore the state previously captured by :meth:`state_dict`."""
+        if len(state["m"]) != len(self.parameters) or len(state["v"]) != len(
+            self.parameters
+        ):
+            raise ValueError(
+                f"optimizer state holds {len(state['m'])} buffers for "
+                f"{len(self.parameters)} parameters"
+            )
+        self._step = int(state["step"])
+        for param, m, v in zip(self.parameters, state["m"], state["v"]):
+            self._m[id(param)] = np.asarray(m, dtype=np.float64).copy()
+            self._v[id(param)] = np.asarray(v, dtype=np.float64).copy()

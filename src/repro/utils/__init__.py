@@ -3,6 +3,7 @@
 from repro.utils.rng import new_rng, spawn_rngs
 from repro.utils.pareto import pareto_frontier, dominates
 from repro.utils.tabulate import format_table
+from repro.utils.fingerprint import canonical_json, content_fingerprint
 
 __all__ = [
     "new_rng",
@@ -10,4 +11,6 @@ __all__ = [
     "pareto_frontier",
     "dominates",
     "format_table",
+    "canonical_json",
+    "content_fingerprint",
 ]

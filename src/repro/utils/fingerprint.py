@@ -1,0 +1,52 @@
+"""Content-addressed fingerprints.
+
+The engine's evaluation cache memoizes child evaluations by *content*, not by
+object identity: two structurally identical architecture descriptors must map
+to the same key even when they were produced by different controller samples
+(or in different processes).  The helpers here turn any JSON-encodable payload
+into a canonical string -- sorted keys, fixed separators, no whitespace
+variation -- and hash it with SHA-256, the same idiom ``charmonium.freeze``
+uses for function-argument memoization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.utils.serialization import _jsonify
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialise ``payload`` into a canonical (deterministic) JSON string.
+
+    Dataclasses and numpy scalars/arrays are converted first, dictionary keys
+    are sorted, and separators are fixed so that equal payloads always yield
+    byte-identical text regardless of insertion order or platform.
+    """
+    return json.dumps(
+        _jsonify(payload), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def content_fingerprint(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def combine_fingerprints(*fingerprints: str) -> str:
+    """Fold several fingerprints into one (order matters)."""
+    return hashlib.sha256("|".join(fingerprints).encode("utf-8")).hexdigest()
+
+
+def array_fingerprint(array: Any) -> str:
+    """Cheap fingerprint of a numpy array: shape, dtype and raw bytes."""
+    import numpy as np
+
+    arr = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(arr.shape).encode("utf-8"))
+    digest.update(str(arr.dtype).encode("utf-8"))
+    digest.update(arr.tobytes())
+    return digest.hexdigest()

@@ -71,6 +71,14 @@ class HeadSpec:
     def param_count(self) -> int:
         return int(sum(op.params for op in self.op_costs(8, 8)))
 
+    def cache_key(self) -> str:
+        """Canonical content fingerprint of the head specification."""
+        from repro.utils.fingerprint import content_fingerprint
+
+        return content_fingerprint(
+            {"kind": "HeadSpec", "ch_in": self.ch_in, "ch_out": self.ch_out}
+        )
+
 
 @dataclass(frozen=True)
 class ArchitectureDescriptor:
@@ -145,6 +153,27 @@ class ArchitectureDescriptor:
     def depth(self) -> int:
         """Number of non-skipped blocks."""
         return sum(1 for block in self.blocks if block.block_type != "SKIP")
+
+    def cache_key(self) -> str:
+        """Canonical content fingerprint of the architecture.
+
+        The key covers everything that determines the network's computation --
+        stem, block stack, head, classifier and input resolution -- and
+        deliberately excludes ``name`` and ``family``, which are labels: two
+        structurally identical children sampled under different names must map
+        to the same cached evaluation.
+        """
+        from repro.utils.fingerprint import combine_fingerprints, content_fingerprint
+
+        return combine_fingerprints(
+            content_fingerprint(
+                {"kind": "ArchitectureDescriptor", "input_resolution": self.input_resolution}
+            ),
+            self.stem.cache_key(),
+            *[block.cache_key() for block in self.blocks],
+            self.head.cache_key(),
+            self.classifier.cache_key(),
+        )
 
     # -- model construction -------------------------------------------------------
     def build(
