@@ -1,16 +1,19 @@
 """Benchmark: the search engine versus the sequential seed loop.
 
-Measures (at the ``bench`` scale):
+Runs one declarative :class:`~repro.api.spec.RunSpec` (at the ``bench``
+scale) through ``repro.run`` under different engine configurations:
 
-* the sequential reference loop (serial backend, cache off) -- this is the
-  seed repository's original execution model,
+* the sequential reference loop (serial backend, cache off) -- the seed
+  repository's original execution model,
 * the thread backend evaluating a whole policy batch concurrently,
 * a warm-cache replay, where every episode is served from the
-  content-addressed evaluation cache.
+  content-addressed evaluation cache,
+* the process backend with and without the shared-evaluator worker
+  initializer (``EngineConfig.share_evaluator``), reporting how much
+  shipping the evaluator once per worker saves over re-pickling it per task.
 
-Reports the thread-backend speedup and the warm-run cache hit-rate, and
-asserts the engine's two headline guarantees: backend-independent rewards
-and training-free cache replays.
+Asserts the engine's headline guarantees: backend-independent rewards and
+training-free cache replays.
 """
 
 from __future__ import annotations
@@ -19,88 +22,77 @@ import time
 
 from conftest import run_once
 
-from repro.core import FaHaNaConfig, FaHaNaSearch, ProducerConfig
-from repro.core.api import default_design_spec
-from repro.core.policy import PolicyGradientConfig
-from repro.engine import EngineConfig, EvaluationCache, SearchEngine
-from repro.experiments.common import prepare_data
-from repro.nn.trainer import TrainingConfig
+import repro
+from repro.engine import EngineConfig, EvaluationCache
+from repro.experiments.common import prepare_data, search_spec
 
 EPISODES = 4
 
 
-def _make_search(preset, splits) -> FaHaNaSearch:
-    config = FaHaNaConfig(
-        episodes=EPISODES,
-        seed=0,
-        producer=ProducerConfig(
-            backbone="MobileNetV2",
-            freeze=True,
-            pretrain_epochs=preset.pretrain_epochs,
-            width_multiplier=preset.width_multiplier,
-            max_searchable=preset.max_searchable,
-        ),
-        # One policy batch spans the whole run, so every backend evaluates
-        # the same sampled children and parallelism is observable.
-        policy=PolicyGradientConfig(batch_episodes=EPISODES),
-        child_training=TrainingConfig(
-            epochs=preset.child_epochs, batch_size=preset.batch_size, seed=0
-        ),
-    )
-    return FaHaNaSearch(
-        splits.train, splits.validation, default_design_spec(), config
-    )
+def _spec(preset) -> "repro.RunSpec":
+    spec = search_spec(preset, "fahana", episodes=EPISODES, seed=0)
+    # One policy batch spans the whole run, so every backend evaluates the
+    # same sampled children and parallelism is observable.
+    return spec.with_overrides(values={"search.policy_batch": EPISODES})
 
 
-def _timed_run(engine: SearchEngine):
+def _timed_run(spec, splits, engine: EngineConfig):
     start = time.perf_counter()
-    result = engine.run()
-    return result, time.perf_counter() - start
+    report = repro.run(
+        spec,
+        engine=engine,
+        train_dataset=splits.train,
+        validation_dataset=splits.validation,
+    )
+    return report, time.perf_counter() - start
 
 
 def test_bench_engine(benchmark, bench_preset):
     splits = prepare_data(bench_preset, seed=0).splits
+    spec = _spec(bench_preset)
 
     def harness():
-        serial, serial_seconds = _timed_run(
-            SearchEngine(_make_search(bench_preset, splits), EngineConfig())
-        )
+        serial, serial_seconds = _timed_run(spec, splits, EngineConfig())
         threaded, thread_seconds = _timed_run(
-            SearchEngine(
-                _make_search(bench_preset, splits),
-                EngineConfig(backend="thread", num_workers=2),
-            )
+            spec, splits, EngineConfig(backend="thread", num_workers=2)
         )
         cache = EvaluationCache(capacity=256)
-        SearchEngine(
-            _make_search(bench_preset, splits),
-            EngineConfig(use_cache=True, cache=cache),
-        ).run()
-        warm_engine = SearchEngine(
-            _make_search(bench_preset, splits),
-            EngineConfig(use_cache=True, cache=cache),
+        _timed_run(spec, splits, EngineConfig(use_cache=True, cache=cache))
+        warm, warm_seconds = _timed_run(
+            spec, splits, EngineConfig(use_cache=True, cache=cache)
         )
-        warm, warm_seconds = _timed_run(warm_engine)
+        shared, shared_seconds = _timed_run(
+            spec,
+            splits,
+            EngineConfig(backend="process", num_workers=2, share_evaluator=True),
+        )
+        unshared, unshared_seconds = _timed_run(
+            spec,
+            splits,
+            EngineConfig(backend="process", num_workers=2, share_evaluator=False),
+        )
         return {
             "serial": serial,
             "threaded": threaded,
             "warm": warm,
+            "shared": shared,
+            "unshared": unshared,
             "serial_seconds": serial_seconds,
             "thread_seconds": thread_seconds,
             "warm_seconds": warm_seconds,
-            "warm_evaluations": warm_engine.evaluations_run,
-            "warm_hit_rate": cache.hit_rate,
+            "shared_seconds": shared_seconds,
+            "unshared_seconds": unshared_seconds,
         }
 
     outcome = run_once(benchmark, harness)
 
     # Backend independence: identical rewards regardless of execution backend.
-    assert (
-        outcome["serial"].history.reward_trajectory()
-        == outcome["threaded"].history.reward_trajectory()
-    )
+    reference = outcome["serial"].history.reward_trajectory()
+    assert outcome["threaded"].history.reward_trajectory() == reference
+    assert outcome["shared"].history.reward_trajectory() == reference
+    assert outcome["unshared"].history.reward_trajectory() == reference
     # A warm cache replays the search without a single training run.
-    assert outcome["warm_evaluations"] == 0
+    assert outcome["warm"].evaluations_run == 0
     assert all(record.cache_hit for record in outcome["warm"].history.records)
 
     print(
@@ -109,5 +101,11 @@ def test_bench_engine(benchmark, bench_preset):
         f"thread {outcome['thread_seconds']:.2f}s "
         f"(speedup x{outcome['serial_seconds'] / max(outcome['thread_seconds'], 1e-9):.2f}), "
         f"warm cache {outcome['warm_seconds']:.2f}s "
-        f"(hit rate {outcome['warm_hit_rate']:.0%})"
+        f"(hit rate {outcome['warm'].cache_hit_rate:.0%})"
+    )
+    print(
+        f"process backend: shared evaluator {outcome['shared_seconds']:.2f}s vs "
+        f"per-task pickling {outcome['unshared_seconds']:.2f}s "
+        f"(initializer saves "
+        f"{outcome['unshared_seconds'] - outcome['shared_seconds']:+.2f}s)"
     )

@@ -12,12 +12,9 @@ Expected runtime: a few minutes at the default (reduced) scale.  Increase
 
 from __future__ import annotations
 
-from repro.core import run_fahana_search
-from repro.core.api import default_design_spec
-from repro.data import DermatologyConfig, DermatologyGenerator, stratified_split
-from repro.experiments.common import evaluate_architecture, prepare_data
+import repro
+from repro.experiments.common import evaluate_architecture, prepare_data, search_spec
 from repro.experiments.presets import get_preset
-from repro.hardware import RASPBERRY_PI_4
 
 EPISODES = 12
 
@@ -25,23 +22,20 @@ EPISODES = 12
 def main() -> None:
     preset = get_preset("ci")
     data = prepare_data(preset, seed=0)
-    spec = default_design_spec(device=RASPBERRY_PI_4, timing_constraint_ms=1500.0)
+    spec = search_spec(
+        preset, "fahana", episodes=EPISODES, seed=0, timing_constraint_ms=1500.0
+    )
+    design = spec.design.build()
 
     print(
-        f"searching {EPISODES} episodes on {spec.hardware.device.name} "
-        f"with TC = {spec.timing_constraint_ms:.0f} ms ..."
+        f"searching {EPISODES} episodes on {design.hardware.device.name} "
+        f"with TC = {design.timing_constraint_ms:.0f} ms ..."
     )
-    result = run_fahana_search(
-        data.splits.train,
-        data.splits.validation,
+    result = repro.run(
         spec,
-        episodes=EPISODES,
-        width_multiplier=preset.width_multiplier,
-        child_epochs=preset.child_epochs,
-        pretrain_epochs=preset.pretrain_epochs,
-        max_searchable=preset.max_searchable,
-        seed=0,
-    )
+        train_dataset=data.splits.train,
+        validation_dataset=data.splits.validation,
+    ).result
 
     print("\n== search summary ==")
     print(result.summary())

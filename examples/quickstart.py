@@ -9,14 +9,16 @@ objects in the order a user would meet them:
 3. train it and evaluate overall accuracy, per-group accuracy and the
    paper's unfairness score,
 4. price the same architecture on the Raspberry Pi / Odroid latency models,
-5. run a tiny engine-backed architecture search with evaluation memoization.
+5. run a tiny architecture search through the declarative run API
+   (one serializable RunSpec in, one RunReport out).
 """
 
 from __future__ import annotations
 
-from repro.core import run_engine_search
-from repro.core.api import default_design_spec
+import repro
+from repro.api import DesignSpecConfig, RunSpec, SearchParams
 from repro.data import DermatologyConfig, DermatologyGenerator, normalize_images, stratified_split
+from repro.engine import EngineConfig
 from repro.fairness import evaluate_fairness
 from repro.hardware import ODROID_XU4, RASPBERRY_PI_4, estimate_latency_ms
 from repro.nn import Trainer, TrainingConfig
@@ -57,33 +59,32 @@ def main() -> None:
         f"{pi:.0f} ms on Raspberry Pi 4, {odroid:.0f} ms on Odroid XU-4"
     )
 
-    # 5. Search: a few engine-backed NAS episodes.  The serial backend with
-    #    the content-addressed cache is the default way to run searches:
-    #    repeated controller samples return memoized evaluations instead of
-    #    re-training (switch backend="thread" to evaluate batches in
-    #    parallel).
-    result, engine = run_engine_search(
-        splits.train,
-        splits.validation,
+    # 5. Search: a few NAS episodes through the declarative run API.  One
+    #    RunSpec describes the whole run (it round-trips to JSON, so the same
+    #    spec drives repro.run(), the repro-search CLI and a remote worker);
+    #    the engine section's evaluation cache memoizes repeated controller
+    #    samples (switch engine.backend to "thread" for parallel waves).
+    spec = RunSpec(
+        strategy="fahana",
         # Relaxed timing constraint so the demo's sampled children qualify
         # for training (the paper's 1500 ms budget rejects most of the wide
         # children an untrained controller proposes).
-        default_design_spec(timing_constraint_ms=4000.0),
-        episodes=4,
-        backend="serial",
-        use_cache=True,
-        child_epochs=2,
-        pretrain_epochs=1,
-        max_searchable=2,
-        width_multiplier=0.25,
-        seed=0,
+        design=DesignSpecConfig(timing_constraint_ms=4000.0),
+        search=SearchParams(
+            episodes=4,
+            child_epochs=2,
+            pretrain_epochs=1,
+            max_searchable=2,
+            width_multiplier=0.25,
+            seed=0,
+        ),
+        engine=EngineConfig(use_cache=True),
+    )
+    report = repro.run(
+        spec, train_dataset=splits.train, validation_dataset=splits.validation
     )
     print("\nengine search summary:")
-    print(result.summary())
-    print(
-        f"engine: {engine.evaluations_run} evaluations run, "
-        f"{engine.cache_hits} cache hits"
-    )
+    print(report.summary())
 
 
 if __name__ == "__main__":

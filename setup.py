@@ -29,7 +29,9 @@ setup(
         "block-based search space, LSTM controller, backbone freezing, edge "
         "latency models, the paper's experiment harnesses and a search engine "
         "with parallel episode execution, content-addressed evaluation "
-        "caching and checkpoint/resume."
+        "caching and checkpoint/resume, all driven by a declarative, "
+        "serializable RunSpec API (repro.run) with a pluggable strategy "
+        "registry."
     ),
     long_description_content_type="text/plain",
     author="paper-repo-growth",

@@ -11,9 +11,46 @@ The package provides:
 * :mod:`repro.hardware` -- edge-device latency / storage models,
 * :mod:`repro.core` -- the FaHaNa fairness- and hardware-aware NAS framework
   (the paper's primary contribution) and the MONAS baseline,
+* :mod:`repro.engine` -- the execution layer: parallel episodes, evaluation
+  cache, checkpoint/resume,
+* :mod:`repro.api` -- the declarative run API (serializable
+  :class:`~repro.api.spec.RunSpec`, strategy registry, ``repro.run()``),
 * :mod:`repro.experiments` -- one harness per table / figure of the paper.
+
+The recommended entry point is the declarative facade::
+
+    import repro
+
+    report = repro.run(repro.RunSpec.from_file("spec.json"))
+    print(report.summary())
 """
 
 from repro.version import __version__
 
-__all__ = ["__version__"]
+# Lazy aliases of the declarative run API (PEP 562): keeps ``import repro``
+# light while making ``repro.run(spec)`` the one-line front door.
+_API_EXPORTS = (
+    "run",
+    "RunSpec",
+    "RunReport",
+    "DatasetSpec",
+    "DesignSpecConfig",
+    "SearchParams",
+    "register_strategy",
+    "available_strategies",
+    "get_strategy",
+)
+
+__all__ = ["__version__", *_API_EXPORTS]
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,121 @@
+"""Strategy registry: pluggable search strategies behind one protocol.
+
+A *strategy* turns a :class:`~repro.api.spec.RunSpec` plus live datasets into
+a search object the :class:`~repro.engine.engine.SearchEngine` can drive
+(anything exposing the ``controller`` / ``producer`` / ``evaluator`` /
+``policy_trainer`` protocol of :class:`~repro.core.fahana.FaHaNaSearch`).
+The built-ins -- ``fahana``, ``monas`` and ``random`` -- register themselves
+from :mod:`repro.api.strategies`; external code adds new baselines with
+:func:`register_strategy` without touching ``repro.core``:
+
+    from repro.api import register_strategy
+
+    @register_strategy("my-baseline", description="...")
+    def build(spec, train_dataset, validation_dataset, design_spec):
+        return MySearch(train_dataset, validation_dataset, design_spec, ...)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol
+
+if TYPE_CHECKING:
+    from repro.api.spec import RunSpec
+    from repro.core.fahana import FaHaNaSearch
+    from repro.data.dataset import GroupedDataset
+    from repro.hardware.constraints import DesignSpec
+
+
+class SearchStrategy(Protocol):
+    """Factory protocol every registered strategy implements."""
+
+    def __call__(
+        self,
+        spec: "RunSpec",
+        train_dataset: "GroupedDataset",
+        validation_dataset: "GroupedDataset",
+        design_spec: "DesignSpec",
+    ) -> "FaHaNaSearch":
+        """Build an engine-drivable search object from a resolved spec."""
+        ...
+
+
+@dataclass(frozen=True)
+class StrategyInfo:
+    """A registered strategy: its name, factory and one-line description."""
+
+    name: str
+    factory: SearchStrategy
+    description: str = ""
+
+
+_STRATEGIES: Dict[str, StrategyInfo] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in strategies on first registry access (idempotent)."""
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        import repro.api.strategies  # noqa: F401  (registers fahana/monas/random)
+
+
+def register_strategy(
+    name: str,
+    factory: Optional[SearchStrategy] = None,
+    *,
+    description: str = "",
+    overwrite: bool = False,
+) -> Callable:
+    """Register a strategy factory; usable directly or as a decorator.
+
+    Raises on duplicate names unless ``overwrite=True`` so accidental
+    shadowing of a built-in is loud.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("strategy name must be a non-empty string")
+
+    def _register(fn: SearchStrategy) -> SearchStrategy:
+        if not overwrite and name in _STRATEGIES:
+            raise ValueError(
+                f"strategy {name!r} is already registered; pass overwrite=True "
+                "to replace it"
+            )
+        _STRATEGIES[name] = StrategyInfo(
+            name=name, factory=fn, description=description
+        )
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a registered strategy (mainly for tests)."""
+    _STRATEGIES.pop(name, None)
+
+
+def get_strategy(name: str) -> StrategyInfo:
+    """Look up a strategy, with the registered names listed on failure."""
+    _ensure_builtins()
+    if name not in _STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {name!r}; registered strategies: "
+            f"{', '.join(available_strategies())}"
+        )
+    return _STRATEGIES[name]
+
+
+def available_strategies() -> List[str]:
+    """Sorted names of every registered strategy."""
+    _ensure_builtins()
+    return sorted(_STRATEGIES)
+
+
+def strategy_descriptions() -> Dict[str, str]:
+    """Mapping of strategy name to its one-line description."""
+    _ensure_builtins()
+    return {name: info.description for name, info in sorted(_STRATEGIES.items())}

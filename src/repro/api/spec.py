@@ -1,0 +1,441 @@
+"""The declarative run specification: one serializable description of a run.
+
+A :class:`RunSpec` captures everything needed to reproduce a search --
+strategy name, dataset recipe, design constraints, search hyper-parameters
+and engine execution knobs -- as a tree of plain dataclasses with a canonical
+JSON round-trip.  A service, a CLI invocation, a checkpoint directory and a
+remote worker can all share the same spec file; :func:`RunSpec.cache_key`
+fingerprints the computation (everything except the engine section, which by
+design does not change results) so a spec doubles as a cache key.
+
+Sections:
+
+* ``strategy``  -- name of a registered search strategy (``fahana``,
+  ``monas``, ``random``, or anything registered via
+  :func:`repro.api.registry.register_strategy`),
+* ``dataset``   -- :class:`DatasetSpec`: the synthetic dermatology recipe
+  plus the split seed (mirrors :func:`repro.core.api.prepare_dataset`),
+* ``design``    -- :class:`DesignSpecConfig`: device + timing/accuracy
+  constraints, resolved to a :class:`~repro.hardware.constraints.DesignSpec`,
+* ``search``    -- :class:`SearchParams`: the strategy hyper-parameters
+  (same knobs and defaults as the legacy ``run_fahana_search``),
+* ``engine``    -- :class:`~repro.engine.engine.EngineConfig`, reused
+  directly (the ``cache`` field, a live object, is not serializable; use
+  ``cache_dir`` in specs).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, List, Optional, Tuple, Type, get_args, get_origin, get_type_hints
+
+from repro.data.dataset import DatasetSplits, stratified_split
+from repro.data.dermatology import DermatologyConfig, DermatologyGenerator
+from repro.engine.engine import EngineConfig
+from repro.hardware.constraints import DesignSpec, HardwareSpec, SoftwareSpec
+from repro.hardware.device import get_device, list_devices
+from repro.utils.fingerprint import content_fingerprint
+from repro.utils.serialization import load_json, save_json
+
+SPEC_VERSION = 1
+
+# EngineConfig fields that hold live objects and therefore never cross the
+# serialization boundary (configure cache_dir for a shareable on-disk cache).
+_ENGINE_EXCLUDED_FIELDS = ("cache",)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for the synthetic dermatology dataset and its 60/20/20 split.
+
+    Defaults mirror :class:`~repro.data.dermatology.DermatologyConfig` plus
+    ``split_seed=0``, so a default ``DatasetSpec`` reproduces
+    ``prepare_dataset()`` exactly.
+    """
+
+    image_size: int = 32
+    num_classes: int = 5
+    samples_per_class: int = 60
+    minority_fraction: float = 0.2
+    dark_contrast: float = 0.55
+    seed: int = 2022
+    split_seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.dermatology_config()  # validates the generator parameters early
+
+    def dermatology_config(self) -> DermatologyConfig:
+        """The generator configuration this spec describes."""
+        return DermatologyConfig(
+            image_size=self.image_size,
+            num_classes=self.num_classes,
+            samples_per_class_majority=self.samples_per_class,
+            minority_fraction=self.minority_fraction,
+            dark_contrast=self.dark_contrast,
+            seed=self.seed,
+        )
+
+    def build(self) -> DatasetSplits:
+        """Generate the dataset and split it 60/20/20."""
+        dataset = DermatologyGenerator(self.dermatology_config()).generate()
+        return stratified_split(dataset, rng=self.split_seed)
+
+
+@dataclass(frozen=True)
+class DesignSpecConfig:
+    """Serializable form of the hardware/software design specification.
+
+    ``device`` is a built-in profile name (see
+    :func:`repro.hardware.device.list_devices`).  Defaults match
+    :func:`repro.core.api.default_design_spec`.
+    """
+
+    device: str = "raspberry-pi-4"
+    timing_constraint_ms: float = 1500.0
+    accuracy_constraint: float = 0.0
+    max_storage_mb: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        try:
+            get_device(self.device)
+        except KeyError as error:
+            raise ValueError(str(error.args[0] if error.args else error)) from None
+        self.build()  # HardwareSpec/SoftwareSpec validate the constraints
+
+    def build(self) -> DesignSpec:
+        """Resolve the named device and materialise the design spec."""
+        return DesignSpec(
+            hardware=HardwareSpec(
+                device=get_device(self.device),
+                timing_constraint_ms=self.timing_constraint_ms,
+                max_storage_mb=self.max_storage_mb,
+            ),
+            software=SoftwareSpec(accuracy_constraint=self.accuracy_constraint),
+        )
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """Strategy hyper-parameters (knobs and defaults of the legacy API).
+
+    ``child_batch_size`` is the child-training batch size; 32 matches the
+    :class:`~repro.nn.trainer.TrainingConfig` default the legacy entry points
+    used.  Strategies are free to ignore knobs that do not apply to them
+    (MONAS ignores ``gamma``/``pretrain_epochs``/``max_searchable``, random
+    search ignores ``policy_batch`` for learning but keeps it as wave size).
+    """
+
+    episodes: int = 20
+    backbone: str = "MobileNetV2"
+    gamma: float = 0.5
+    width_multiplier: float = 0.35
+    child_epochs: int = 5
+    child_batch_size: int = 32
+    pretrain_epochs: int = 5
+    max_searchable: Optional[int] = None
+    alpha: float = 1.0
+    beta: float = 1.0
+    seed: int = 0
+    policy_batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.episodes <= 0:
+            raise ValueError("episodes must be positive")
+        if self.child_epochs < 0 or self.pretrain_epochs < 0:
+            raise ValueError("child_epochs and pretrain_epochs must be non-negative")
+        if self.child_batch_size <= 0:
+            raise ValueError("child_batch_size must be positive")
+        if self.policy_batch <= 0:
+            raise ValueError("policy_batch must be positive")
+        if self.max_searchable is not None and self.max_searchable <= 0:
+            raise ValueError("max_searchable must be positive when given")
+
+
+_SECTIONS: Tuple[Tuple[str, type], ...] = ()  # filled in after RunSpec below
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One declarative, serializable description of a search run.
+
+    ``engine`` is Optional so "not specified" stays distinguishable from "an
+    explicit engine section that happens to spell out the defaults": None
+    resolves against the process-wide default engine config (and ultimately
+    plain serial), while a present section -- even an all-default one -- is
+    honoured verbatim.
+    """
+
+    strategy: str = "fahana"
+    dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    design: DesignSpecConfig = field(default_factory=DesignSpecConfig)
+    search: SearchParams = field(default_factory=SearchParams)
+    engine: Optional[EngineConfig] = None
+
+    # -- validation ---------------------------------------------------------------
+    def validate(self) -> "RunSpec":
+        """Check the spec against the strategy registry; returns self."""
+        from repro.api.registry import get_strategy
+
+        get_strategy(self.strategy)  # raises with the registered names listed
+        return self
+
+    # -- canonical dict / JSON round-trip ------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Flatten into plain JSON-encodable data (the canonical schema).
+
+        An unset engine section (None) is omitted, so it round-trips as
+        "unset" rather than silently becoming an explicit default section.
+        """
+        payload = {
+            "version": SPEC_VERSION,
+            "strategy": self.strategy,
+            "dataset": _section_to_dict(self.dataset),
+            "design": _section_to_dict(self.design),
+            "search": _section_to_dict(self.search),
+        }
+        if self.engine is not None:
+            if self.engine.cache is not None:
+                raise ValueError(
+                    "engine.cache holds a live EvaluationCache object and "
+                    "cannot be serialized; configure engine.cache_dir (an "
+                    "on-disk cache) in specs instead"
+                )
+            payload["engine"] = _section_to_dict(
+                self.engine, exclude=_ENGINE_EXCLUDED_FIELDS
+            )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "RunSpec":
+        """Rebuild a spec, rejecting unknown keys/strategies with clear errors."""
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"a run spec must be a JSON object, got {type(payload).__name__}"
+            )
+        allowed = ["version", "strategy"] + [name for name, _ in _SECTIONS]
+        _reject_unknown(payload, allowed, "run spec")
+        version = payload.get("version", SPEC_VERSION)
+        if int(version) != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported spec version {version!r} (this build reads "
+                f"version {SPEC_VERSION})"
+            )
+        strategy = payload.get("strategy", "fahana")
+        if not isinstance(strategy, str) or not strategy:
+            raise ValueError("'strategy' must be a non-empty string")
+        kwargs: Dict[str, Any] = {"strategy": strategy}
+        for name, section_cls in _SECTIONS:
+            if name == "engine" and name not in payload:
+                continue  # absent engine section stays None ("unset")
+            section_payload = payload.get(name, {})
+            exclude = _ENGINE_EXCLUDED_FIELDS if section_cls is EngineConfig else ()
+            kwargs[name] = _section_from_dict(
+                section_cls, section_payload, name, exclude=exclude
+            )
+        spec = cls(**kwargs)
+        return spec.validate()
+
+    def to_json(self) -> str:
+        """Pretty, deterministic JSON text of this spec."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    def to_file(self, path: str) -> str:
+        """Write the spec as JSON; returns the path."""
+        save_json(path, self.to_dict())
+        return path
+
+    @classmethod
+    def from_file(cls, path: str) -> "RunSpec":
+        """Load a spec from a JSON file written by :meth:`to_file` (or by hand)."""
+        try:
+            payload = load_json(path)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"spec file {path!r} is not valid JSON: {error}") from None
+        try:
+            return cls.from_dict(payload)
+        except ValueError as error:
+            raise ValueError(f"invalid spec file {path!r}: {error}") from None
+
+    # -- fingerprinting -------------------------------------------------------------
+    def cache_key(self) -> str:
+        """Content fingerprint of the *computation* this spec describes.
+
+        The engine section is excluded: backend, worker count, caching and
+        checkpointing change how a run executes, never what it computes, so
+        two specs that differ only in execution knobs share a fingerprint.
+        """
+        payload = self.to_dict()
+        payload.pop("engine", None)
+        return content_fingerprint(payload)
+
+    # -- ergonomics -----------------------------------------------------------------
+    def with_overrides(self, **overrides: Any) -> "RunSpec":
+        """A copy with dotted-path overrides, e.g. ``{"search.episodes": 5}``.
+
+        Accepts ``strategy=...`` and ``section__field=...`` keyword form as
+        well as a ``values={dotted.path: value}`` mapping.
+        """
+        values: Dict[str, Any] = dict(overrides.pop("values", {}) or {})
+        for key, value in overrides.items():
+            values[key.replace("__", ".")] = value
+        spec = self
+        sections = dict(_SECTIONS)
+        for path, value in values.items():
+            if path == "strategy":
+                spec = replace(spec, strategy=str(value))
+                continue
+            section, _, name = path.partition(".")
+            if section not in sections or not name:
+                raise ValueError(
+                    f"unknown override path {path!r}; expected 'strategy' or "
+                    f"'<section>.<field>' with section one of "
+                    f"{sorted(sections)}"
+                )
+            current = getattr(spec, section)
+            if current is None:  # overriding an unset engine section starts from defaults
+                current = sections[section]()
+            if name not in {f.name for f in fields(current)}:
+                raise ValueError(
+                    f"unknown field {name!r} in {section!r} section; allowed: "
+                    f"{sorted(f.name for f in fields(current))}"
+                )
+            spec = replace(spec, **{section: replace(current, **{name: value})})
+        return spec
+
+
+_SECTIONS = (
+    ("dataset", DatasetSpec),
+    ("design", DesignSpecConfig),
+    ("search", SearchParams),
+    ("engine", EngineConfig),
+)
+
+
+# -- schema introspection (drives the CLI flag generation) --------------------------
+@dataclass(frozen=True)
+class SpecField:
+    """One leaf of the spec tree, as exposed to schema consumers (the CLI)."""
+
+    section: str
+    name: str
+    path: str  # dotted, e.g. "search.episodes"
+    flag: str  # CLI flag, e.g. "--search-episodes"
+    value_type: type  # int / float / str / bool
+    optional: bool  # True when None is an accepted value
+    default: Any
+
+
+def spec_schema() -> List[SpecField]:
+    """Flat schema of every serializable spec field (excluding ``strategy``)."""
+    schema: List[SpecField] = []
+    for section, section_cls in _SECTIONS:
+        hints = get_type_hints(section_cls)
+        defaults = section_cls()
+        for spec_field in fields(section_cls):
+            if section_cls is EngineConfig and spec_field.name in _ENGINE_EXCLUDED_FIELDS:
+                continue
+            value_type, optional = _unwrap_hint(hints[spec_field.name])
+            schema.append(
+                SpecField(
+                    section=section,
+                    name=spec_field.name,
+                    path=f"{section}.{spec_field.name}",
+                    flag=f"--{section}-{spec_field.name}".replace("_", "-"),
+                    value_type=value_type,
+                    optional=optional,
+                    default=getattr(defaults, spec_field.name),
+                )
+            )
+    return schema
+
+
+# -- helpers ------------------------------------------------------------------------
+def _section_to_dict(section: Any, exclude: Tuple[str, ...] = ()) -> Dict[str, Any]:
+    return {
+        f.name: getattr(section, f.name)
+        for f in fields(section)
+        if f.name not in exclude
+    }
+
+
+def _reject_unknown(payload: Dict[str, Any], allowed: List[str], where: str) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {', '.join(repr(k) for k in unknown)} in {where}; "
+            f"allowed keys: {', '.join(sorted(allowed))}"
+        )
+
+
+def _section_from_dict(
+    section_cls: Type[Any],
+    payload: Any,
+    section: str,
+    exclude: Tuple[str, ...] = (),
+) -> Any:
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"the {section!r} section must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    hints = get_type_hints(section_cls)
+    allowed = [f.name for f in fields(section_cls) if f.name not in exclude]
+    _reject_unknown(payload, allowed, f"the {section!r} section")
+    kwargs = {
+        name: _coerce(payload[name], hints[name], f"{section}.{name}")
+        for name in allowed
+        if name in payload
+    }
+    try:
+        return section_cls(**kwargs)
+    except ValueError as error:
+        raise ValueError(f"invalid {section!r} section: {error}") from None
+
+
+def _unwrap_hint(hint: Any) -> Tuple[type, bool]:
+    """Reduce a type hint to ``(base_type, accepts_none)``."""
+    if get_origin(hint) is not None:  # Optional[X] / Union[X, None]
+        args = [a for a in get_args(hint) if a is not type(None)]
+        if len(args) == 1:
+            base, _ = _unwrap_hint(args[0])
+            return base, True
+        return str, True  # permissive fallback for exotic unions
+    if hint in (int, float, str, bool):
+        return hint, False
+    return str, False
+
+
+def _coerce(value: Any, hint: Any, path: str) -> Any:
+    """Coerce a JSON value to the field's declared type, with a located error."""
+    base, optional = _unwrap_hint(hint)
+    if value is None:
+        if optional:
+            return None
+        raise ValueError(f"{path} must not be null")
+    try:
+        if base is bool:
+            if not isinstance(value, bool):
+                raise TypeError(f"expected true/false, got {value!r}")
+            return value
+        if base is int:
+            if isinstance(value, bool) or (
+                isinstance(value, float) and not value.is_integer()
+            ):
+                raise TypeError(f"expected an integer, got {value!r}")
+            return int(value)
+        if base is float:
+            if isinstance(value, bool):
+                raise TypeError(f"expected a number, got {value!r}")
+            return float(value)
+        if base is str:
+            if not isinstance(value, str):
+                raise TypeError(f"expected a string, got {value!r}")
+            return value
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"{path}: {error}") from None
+    return value

@@ -1,0 +1,194 @@
+"""Built-in search strategies: ``fahana``, ``monas`` and ``random``.
+
+``fahana`` and ``monas`` wrap the paper's two searches with exactly the
+configuration the legacy ``run_fahana_search`` / ``run_monas_search`` entry
+points built, so a spec-driven run reproduces a legacy call bit for bit.
+``random`` is a uniform random-search baseline that exists to prove the
+registry's point: it plugs a new strategy into the same facade, engine,
+cache and checkpointing without touching ``repro.core`` at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.api.registry import register_strategy
+from repro.api.spec import RunSpec, SearchParams
+from repro.core.controller import ControllerSample, LSTMController
+from repro.core.fahana import FaHaNaConfig, FaHaNaSearch
+from repro.core.monas import MonasConfig, MonasSearch
+from repro.core.policy import PolicyGradientConfig, PolicyGradientTrainer
+from repro.core.producer import ProducerConfig
+from repro.data.dataset import GroupedDataset
+from repro.hardware.constraints import DesignSpec
+from repro.nn.trainer import TrainingConfig
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _fahana_config(params: SearchParams) -> FaHaNaConfig:
+    """The spec-driven equivalent of the legacy ``_fahana_config`` defaults."""
+    return FaHaNaConfig(
+        episodes=params.episodes,
+        alpha=params.alpha,
+        beta=params.beta,
+        seed=params.seed,
+        producer=ProducerConfig(
+            backbone=params.backbone,
+            freeze=True,
+            gamma=params.gamma,
+            pretrain_epochs=params.pretrain_epochs,
+            width_multiplier=params.width_multiplier,
+            max_searchable=params.max_searchable,
+        ),
+        policy=PolicyGradientConfig(batch_episodes=params.policy_batch),
+        child_training=TrainingConfig(
+            epochs=params.child_epochs,
+            batch_size=params.child_batch_size,
+            seed=params.seed,
+        ),
+    )
+
+
+@register_strategy(
+    "fahana",
+    description="FaHaNa: freezing + latency bypass + policy-gradient controller "
+    "(the paper's framework)",
+)
+def build_fahana(
+    spec: RunSpec,
+    train_dataset: GroupedDataset,
+    validation_dataset: GroupedDataset,
+    design_spec: DesignSpec,
+) -> FaHaNaSearch:
+    return FaHaNaSearch(
+        train_dataset, validation_dataset, design_spec, _fahana_config(spec.search)
+    )
+
+
+@register_strategy(
+    "monas",
+    description="MONAS baseline: no freezing, no latency bypass (Table 2)",
+)
+def build_monas(
+    spec: RunSpec,
+    train_dataset: GroupedDataset,
+    validation_dataset: GroupedDataset,
+    design_spec: DesignSpec,
+) -> MonasSearch:
+    params = spec.search
+    # Mirrors the legacy run_monas_search construction: gamma, pretraining and
+    # the searchable cap do not apply (MONAS searches every position and
+    # trains every child from scratch).
+    config = MonasConfig(
+        episodes=params.episodes,
+        alpha=params.alpha,
+        beta=params.beta,
+        seed=params.seed,
+        producer=ProducerConfig(
+            backbone=params.backbone,
+            freeze=False,
+            pretrain_epochs=0,
+            width_multiplier=params.width_multiplier,
+        ),
+        policy=PolicyGradientConfig(batch_episodes=params.policy_batch),
+        child_training=TrainingConfig(
+            epochs=params.child_epochs,
+            batch_size=params.child_batch_size,
+            seed=params.seed,
+        ),
+    )
+    return MonasSearch(train_dataset, validation_dataset, design_spec, config)
+
+
+# -- the random-search baseline -----------------------------------------------------
+class _UniformController(LSTMController):
+    """Controller that samples every decision uniformly from the search space.
+
+    It keeps the LSTM parameters (so engine checkpoints round-trip through
+    the same code path) but never consults them: ``sample`` draws uniform
+    indices from the caller's RNG stream, consuming draws in the same
+    per-decision order as the learned controller.
+    """
+
+    def sample(
+        self,
+        rng: SeedLike = None,
+        temperature: float = 1.0,
+        greedy: bool = False,
+    ) -> ControllerSample:
+        generator = new_rng(rng)
+        decision_indices: List[List[int]] = []
+        log_prob = 0.0
+        entropy = 0.0
+        for position in self.positions:
+            sizes = self.search_space.decision_sizes(position.stride)
+            per_position = [int(generator.integers(size)) for size in sizes]
+            decision_indices.append(per_position)
+            for size in sizes:
+                log_prob += -float(np.log(size))
+                entropy += float(np.log(size))
+        decisions = [
+            self.search_space.decode(position.stride, indices)
+            for position, indices in zip(self.positions, decision_indices)
+        ]
+        # steps stays empty: there is no policy to backpropagate through.
+        return ControllerSample(
+            decision_indices=decision_indices,
+            decisions=decisions,
+            log_prob=log_prob,
+            entropy=entropy,
+            steps=[],
+        )
+
+
+class _NoUpdateTrainer(PolicyGradientTrainer):
+    """Policy trainer that records rewards but never updates the policy."""
+
+    def observe(self, sample: ControllerSample, reward: float) -> None:
+        self.update_baseline(reward)  # keep the running-reward statistic
+
+    def apply_update(self) -> None:
+        pass
+
+
+class RandomSearch(FaHaNaSearch):
+    """Uniform random search over the (frozen-backbone) space.
+
+    Shares the producer, evaluator, reward and engine integration with
+    FaHaNa -- only the sampling distribution differs -- which makes it the
+    canonical "how much does the controller actually learn?" baseline.
+    """
+
+    def __init__(
+        self,
+        train_dataset: GroupedDataset,
+        validation_dataset: GroupedDataset,
+        design_spec: Optional[DesignSpec] = None,
+        config: Optional[FaHaNaConfig] = None,
+    ):
+        super().__init__(train_dataset, validation_dataset, design_spec, config)
+        self.controller = _UniformController(
+            search_space=self.config.search_space,
+            positions=self.producer.positions,
+            hidden_size=self.config.controller_hidden,
+            rng=self.config.seed,
+        )
+        self.policy_trainer = _NoUpdateTrainer(self.controller, self.config.policy)
+
+
+@register_strategy(
+    "random",
+    description="uniform random search over the frozen-backbone space "
+    "(no-learning baseline)",
+)
+def build_random(
+    spec: RunSpec,
+    train_dataset: GroupedDataset,
+    validation_dataset: GroupedDataset,
+    design_spec: DesignSpec,
+) -> RandomSearch:
+    return RandomSearch(
+        train_dataset, validation_dataset, design_spec, _fahana_config(spec.search)
+    )

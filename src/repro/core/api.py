@@ -1,26 +1,38 @@
-"""High-level convenience entry points.
+"""Legacy convenience entry points (deprecated shims over the run API).
 
-These wrap the full pipeline (dataset -> splits -> search -> result) behind
-single function calls; the example scripts and the benchmark harness use
-them, and they are the recommended starting point for library users.
+The recommended interface is the declarative one in :mod:`repro.api`::
+
+    import repro
+
+    spec = repro.RunSpec(search=repro.SearchParams(episodes=20))
+    report = repro.run(spec)
+
+The three ``run_*_search`` functions below predate it; they now construct a
+:class:`~repro.api.spec.RunSpec` and delegate to :func:`repro.api.run.run`,
+emitting a :class:`DeprecationWarning`.  They keep their exact historical
+behaviour (same knobs, same defaults, same results) so existing callers
+migrate on their own schedule.  ``default_design_spec`` and
+``prepare_dataset`` are not deprecated -- they remain the one-line helpers
+for building the paper's default design spec and dataset splits.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import warnings
 from typing import TYPE_CHECKING, Optional, Tuple
 
-from repro.core.fahana import FaHaNaConfig, FaHaNaResult, FaHaNaSearch
-from repro.core.monas import MonasConfig, MonasSearch
-from repro.core.producer import ProducerConfig
+from repro.core.fahana import FaHaNaResult
 from repro.data.dataset import DatasetSplits, GroupedDataset, stratified_split
 from repro.data.dermatology import DermatologyConfig, DermatologyGenerator
 from repro.hardware.constraints import DesignSpec, HardwareSpec, SoftwareSpec
 from repro.hardware.device import RASPBERRY_PI_4, DeviceProfile
-from repro.nn.trainer import TrainingConfig
 
 if TYPE_CHECKING:
     from repro.engine.engine import EngineConfig, SearchEngine
+
+# Sentinel distinguishing "not passed" from an explicit default value, so a
+# conflicting EngineConfig + shortcut kwarg combination can be rejected.
+_UNSET = object()
 
 
 def default_design_spec(
@@ -43,39 +55,12 @@ def prepare_dataset(
     return stratified_split(dataset, rng=seed)
 
 
-def _fahana_config(
-    episodes: int = 20,
-    backbone: str = "MobileNetV2",
-    gamma: float = 0.5,
-    width_multiplier: float = 0.35,
-    child_epochs: int = 5,
-    pretrain_epochs: int = 5,
-    max_searchable: Optional[int] = None,
-    alpha: float = 1.0,
-    beta: float = 1.0,
-    seed: int = 0,
-    policy_batch: int = 1,
-    engine: Optional["EngineConfig"] = None,
-) -> FaHaNaConfig:
-    """The one place the high-level search defaults are defined."""
-    from repro.core.policy import PolicyGradientConfig
-
-    return FaHaNaConfig(
-        episodes=episodes,
-        alpha=alpha,
-        beta=beta,
-        seed=seed,
-        producer=ProducerConfig(
-            backbone=backbone,
-            freeze=True,
-            gamma=gamma,
-            pretrain_epochs=pretrain_epochs,
-            width_multiplier=width_multiplier,
-            max_searchable=max_searchable,
-        ),
-        policy=PolicyGradientConfig(batch_episodes=policy_batch),
-        child_training=TrainingConfig(epochs=child_epochs, seed=seed),
-        engine=engine,
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; build a repro.api.RunSpec and call "
+        "repro.run(spec) instead (see the README's 'Declarative runs' section)",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
@@ -95,29 +80,38 @@ def run_fahana_search(
     seed: int = 0,
     engine: Optional["EngineConfig"] = None,
 ) -> FaHaNaResult:
-    """Run a FaHaNa search with sensible defaults and return its result.
+    """Deprecated: run a FaHaNa search with sensible defaults.
 
-    ``engine`` selects the execution layer (backend, evaluation cache,
-    checkpointing); None uses the process-wide default and ultimately the
-    plain serial engine, which matches the original sequential loop.
+    Equivalent to ``repro.run(RunSpec(strategy="fahana", search=...))`` with
+    the datasets injected; returns the bare :class:`FaHaNaResult`.
     """
-    config = _fahana_config(
-        episodes=episodes,
-        backbone=backbone,
-        gamma=gamma,
-        width_multiplier=width_multiplier,
-        child_epochs=child_epochs,
-        pretrain_epochs=pretrain_epochs,
-        max_searchable=max_searchable,
-        alpha=alpha,
-        beta=beta,
-        seed=seed,
+    _warn_deprecated("run_fahana_search")
+    from repro.api.run import run as api_run
+    from repro.api.spec import RunSpec, SearchParams
+
+    spec = RunSpec(
+        strategy="fahana",
+        search=SearchParams(
+            episodes=episodes,
+            backbone=backbone,
+            gamma=gamma,
+            width_multiplier=width_multiplier,
+            child_epochs=child_epochs,
+            pretrain_epochs=pretrain_epochs,
+            max_searchable=max_searchable,
+            alpha=alpha,
+            beta=beta,
+            seed=seed,
+        ),
+    )
+    report = api_run(
+        spec,
         engine=engine,
+        train_dataset=train_dataset,
+        validation_dataset=validation_dataset,
+        design_spec=design_spec or default_design_spec(),
     )
-    search = FaHaNaSearch(
-        train_dataset, validation_dataset, design_spec or default_design_spec(), config
-    )
-    return search.run()
+    return report.result
 
 
 def run_engine_search(
@@ -125,48 +119,69 @@ def run_engine_search(
     validation_dataset: GroupedDataset,
     design_spec: Optional[DesignSpec] = None,
     episodes: int = 20,
-    backend: str = "serial",
-    num_workers: int = 2,
-    batch_episodes: Optional[int] = None,
-    use_cache: bool = True,
-    run_dir: Optional[str] = None,
+    backend: str = _UNSET,
+    num_workers: int = _UNSET,
+    batch_episodes: Optional[int] = _UNSET,
+    use_cache: bool = _UNSET,
+    run_dir: Optional[str] = _UNSET,
     resume: bool = False,
-    checkpoint_every: int = 0,
+    checkpoint_every: int = _UNSET,
     engine: Optional["EngineConfig"] = None,
     **search_kwargs,
 ) -> Tuple[FaHaNaResult, "SearchEngine"]:
-    """Run a FaHaNa search on an explicitly configured engine.
+    """Deprecated: run a FaHaNa search on an explicitly configured engine.
 
-    Returns ``(result, engine)`` so callers can inspect execution statistics
-    (cache hit rate, evaluations actually run, checkpoints written).  A full
-    :class:`EngineConfig` passed as ``engine`` takes precedence over the
-    individual ``backend``/``use_cache``/... shortcuts.  Extra keyword
-    arguments are forwarded to :func:`_fahana_config` -- the same knobs and
-    defaults as :func:`run_fahana_search` (``backbone``, ``child_epochs``,
-    ``seed``, ...).  ``resume=True`` continues from the checkpoint in the
-    run directory.
+    Returns ``(result, engine)`` so callers can inspect execution statistics.
+    Pass *either* a full :class:`EngineConfig` as ``engine`` *or* the
+    individual ``backend``/``num_workers``/... shortcuts -- combining the two
+    raises a :class:`ValueError` (shortcut kwargs used to be silently
+    ignored in that case).  Extra keyword arguments map onto
+    :class:`~repro.api.spec.SearchParams` -- the same knobs and defaults as
+    :func:`run_fahana_search`.  ``resume=True`` continues from the
+    checkpoint in the run directory.
     """
-    from repro.engine.engine import EngineConfig, SearchEngine
+    _warn_deprecated("run_engine_search")
+    from repro.api.run import run as api_run
+    from repro.api.spec import RunSpec, SearchParams
+    from repro.engine.engine import EngineConfig
 
+    shortcuts = {
+        "backend": backend,
+        "num_workers": num_workers,
+        "batch_episodes": batch_episodes,
+        "use_cache": use_cache,
+        "run_dir": run_dir,
+        "checkpoint_every": checkpoint_every,
+    }
+    explicit = sorted(name for name, value in shortcuts.items() if value is not _UNSET)
+    if engine is not None and explicit:
+        raise ValueError(
+            "conflicting engine configuration: a full EngineConfig was passed "
+            f"as 'engine' together with the shortcut kwarg(s) {explicit}; "
+            "set those fields on the EngineConfig (or drop it) instead"
+        )
     engine_config = engine or EngineConfig(
-        backend=backend,
-        num_workers=num_workers,
-        batch_episodes=batch_episodes,
-        use_cache=use_cache,
-        run_dir=run_dir,
-        checkpoint_every=checkpoint_every,
+        backend=backend if backend is not _UNSET else "serial",
+        num_workers=num_workers if num_workers is not _UNSET else 2,
+        batch_episodes=batch_episodes if batch_episodes is not _UNSET else None,
+        use_cache=use_cache if use_cache is not _UNSET else True,
+        run_dir=run_dir if run_dir is not _UNSET else None,
+        checkpoint_every=checkpoint_every if checkpoint_every is not _UNSET else 0,
     )
-    search_kwargs.setdefault(
-        "policy_batch", engine_config.batch_episodes or 1
+    search_kwargs.setdefault("policy_batch", engine_config.batch_episodes or 1)
+    spec = RunSpec(
+        strategy="fahana",
+        search=SearchParams(episodes=episodes, **search_kwargs),
     )
-    config = _fahana_config(episodes=episodes, **search_kwargs)
-    search = FaHaNaSearch(
-        train_dataset, validation_dataset, design_spec or default_design_spec(), config
+    report = api_run(
+        spec,
+        engine=engine_config,
+        resume=resume,
+        train_dataset=train_dataset,
+        validation_dataset=validation_dataset,
+        design_spec=design_spec or default_design_spec(),
     )
-    search_engine = SearchEngine(search, engine_config)
-    if resume:
-        search_engine.restore()
-    return search_engine.run(), search_engine
+    return report.result, report.engine
 
 
 def run_monas_search(
@@ -181,21 +196,27 @@ def run_monas_search(
     beta: float = 1.0,
     seed: int = 0,
 ) -> FaHaNaResult:
-    """Run the MONAS baseline (no freezing, no latency bypass)."""
-    config = MonasConfig(
-        episodes=episodes,
-        alpha=alpha,
-        beta=beta,
-        seed=seed,
-        producer=ProducerConfig(
+    """Deprecated: run the MONAS baseline (no freezing, no latency bypass)."""
+    _warn_deprecated("run_monas_search")
+    from repro.api.run import run as api_run
+    from repro.api.spec import RunSpec, SearchParams
+
+    spec = RunSpec(
+        strategy="monas",
+        search=SearchParams(
+            episodes=episodes,
             backbone=backbone,
-            freeze=False,
-            pretrain_epochs=0,
             width_multiplier=width_multiplier,
+            child_epochs=child_epochs,
+            alpha=alpha,
+            beta=beta,
+            seed=seed,
         ),
-        child_training=TrainingConfig(epochs=child_epochs, seed=seed),
     )
-    search = MonasSearch(
-        train_dataset, validation_dataset, design_spec or default_design_spec(), config
+    report = api_run(
+        spec,
+        train_dataset=train_dataset,
+        validation_dataset=validation_dataset,
+        design_spec=design_spec or default_design_spec(),
     )
-    return search.run()
+    return report.result

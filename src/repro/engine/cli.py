@@ -1,7 +1,15 @@
-"""``repro-search``: run an engine-backed FaHaNa search from the command line.
+"""``repro-search``: run a search from the command line.
 
-A small end-to-end search on the synthetic dermatology dataset, sized so the
-default invocation finishes in about a minute on a laptop CPU:
+The primary interface is the spec-driven one (handled by
+:mod:`repro.api.cli`):
+
+    repro-search run spec.json --engine-backend thread --search-episodes 20
+    repro-search validate spec.json
+    repro-search strategies
+
+The original flat-flag interface keeps working -- it is translated into the
+same :class:`~repro.api.spec.RunSpec` and routed through the same
+``repro.run`` facade:
 
     repro-search --episodes 10 --backend thread --workers 2 --run-dir runs/demo
 
@@ -14,23 +22,20 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.api import default_design_spec
-from repro.core.fahana import FaHaNaConfig, FaHaNaSearch
-from repro.core.policy import PolicyGradientConfig
-from repro.core.producer import ProducerConfig
-from repro.data.dataset import stratified_split
-from repro.data.dermatology import DermatologyConfig, DermatologyGenerator
 from repro.engine.checkpoint import has_checkpoint
-from repro.engine.engine import EngineConfig, SearchEngine
 from repro.engine.workers import BACKENDS
-from repro.nn.trainer import TrainingConfig
+
+# First-argument tokens that select the spec-driven CLI in repro.api.cli.
+SUBCOMMANDS = ("run", "validate", "strategies")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-search",
         description="Fairness- and hardware-aware NAS with the search engine "
-        "(parallel episodes, evaluation cache, checkpoint/resume).",
+        "(parallel episodes, evaluation cache, checkpoint/resume).  "
+        "Prefer the spec interface: repro-search run spec.json "
+        "(see repro-search run --help).",
     )
     parser.add_argument("--episodes", type=int, default=10, help="search episodes")
     parser.add_argument(
@@ -99,44 +104,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def build_search(args: argparse.Namespace) -> FaHaNaSearch:
-    """Construct the dataset and search from parsed CLI arguments."""
-    dataset = DermatologyGenerator(
-        DermatologyConfig(
+def spec_from_args(args: argparse.Namespace):
+    """Translate the legacy flat flags into a :class:`RunSpec`.
+
+    Field for field this reproduces the search the old CLI constructed by
+    hand (same dataset recipe, same training batch size, same engine knobs).
+    """
+    from repro.api.spec import DatasetSpec, DesignSpecConfig, RunSpec, SearchParams
+    from repro.engine.engine import EngineConfig
+
+    return RunSpec(
+        strategy="fahana",
+        dataset=DatasetSpec(
             image_size=args.image_size,
-            samples_per_class_majority=args.samples_per_class,
+            samples_per_class=args.samples_per_class,
             minority_fraction=0.5,
             seed=args.seed,
-        )
-    ).generate()
-    splits = stratified_split(dataset, rng=args.seed)
-    config = FaHaNaConfig(
-        episodes=args.episodes,
-        seed=args.seed,
-        producer=ProducerConfig(
+            split_seed=args.seed,
+        ),
+        design=DesignSpecConfig(timing_constraint_ms=args.timing_constraint_ms),
+        search=SearchParams(
+            episodes=args.episodes,
             backbone="MobileNetV2",
-            freeze=True,
+            child_epochs=args.child_epochs,
+            child_batch_size=16,
             pretrain_epochs=args.pretrain_epochs,
-            width_multiplier=args.width_multiplier,
             max_searchable=args.max_searchable,
+            width_multiplier=args.width_multiplier,
+            seed=args.seed,
+            policy_batch=args.policy_batch,
         ),
-        policy=PolicyGradientConfig(batch_episodes=args.policy_batch),
-        child_training=TrainingConfig(
-            epochs=args.child_epochs, batch_size=16, seed=args.seed
-        ),
-    )
-    spec = default_design_spec(timing_constraint_ms=args.timing_constraint_ms)
-    return FaHaNaSearch(splits.train, splits.validation, spec, config)
-
-
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.resume and (args.run_dir is None or not has_checkpoint(args.run_dir)):
-        print("error: --resume needs a --run-dir holding a checkpoint", file=sys.stderr)
-        return 2
-
-    try:
-        engine_config = EngineConfig(
+        engine=EngineConfig(
             backend=args.backend,
             num_workers=args.workers,
             batch_episodes=args.batch_episodes,
@@ -144,37 +142,53 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_dir=None if args.no_cache else args.cache_dir,
             run_dir=args.run_dir,
             checkpoint_every=args.checkpoint_every,
-        )
+        ),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = list(sys.argv[1:]) if argv is None else list(argv)
+    if arguments and arguments[0] in SUBCOMMANDS:
+        from repro.api.cli import main as api_main
+
+        return api_main(arguments)
+
+    args = build_parser().parse_args(arguments)
+    if args.resume and (args.run_dir is None or not has_checkpoint(args.run_dir)):
+        print("error: --resume needs a --run-dir holding a checkpoint", file=sys.stderr)
+        return 2
+
+    try:
+        from repro.api.run import run as api_run
+
+        spec = spec_from_args(args)
         print(
             f"search: {args.episodes} episodes, backend={args.backend} "
             f"(workers={args.workers}), cache={'off' if args.no_cache else 'on'}"
             + (f", run_dir={args.run_dir}" if args.run_dir else "")
         )
-        search = build_search(args)
-        engine = SearchEngine(search, engine_config)
-        if args.resume:
-            start = engine.restore()
-            print(f"resumed from episode {start}")
-        result = engine.run()
+        report = api_run(spec, resume=args.resume)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    if report.resumed_from is not None:
+        print(f"resumed from episode {report.resumed_from}")
     print("\n== search summary ==")
-    print(result.summary())
+    print(report.result.summary())
     print(
-        f"\nengine: {engine.evaluations_run} evaluations run, "
-        f"{engine.cache_hits} cache hits"
+        f"\nengine: {report.evaluations_run} evaluations run, "
+        f"{report.cache_hits} cache hits"
         + (
-            f" (hit rate {engine.cache.hit_rate:.1%})"
-            if engine.cache is not None
+            f" (hit rate {report.cache_hit_rate:.1%})"
+            if report.cache_hit_rate is not None
             else ""
         )
-        + f", {engine.checkpoints_written} checkpoints"
+        + f", {report.checkpoints_written} checkpoints"
     )
-    if result.best is not None:
+    if report.best is not None:
         print("\n== best searched architecture ==")
-        print(result.best.descriptor.describe())
+        print(report.best.descriptor.describe())
     return 0
 
 

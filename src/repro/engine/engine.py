@@ -55,6 +55,7 @@ from repro.engine.events import (
     EventBus,
     JsonlTelemetry,
 )
+from repro.engine import workers as workers_module
 from repro.engine.workers import BACKENDS, WorkerPool, create_pool
 from repro.utils.fingerprint import (
     array_fingerprint,
@@ -82,6 +83,9 @@ class EngineConfig:
     # the last one (0 = only the final checkpoint, when run_dir is set).
     checkpoint_every: int = 0
     telemetry: bool = True
+    # Process backend only: ship the evaluator to each worker process once at
+    # pool startup (executor initializer) instead of re-pickling it per task.
+    share_evaluator: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -142,10 +146,17 @@ class _EpisodeJob:
 
 
 def _evaluate_payload(
-    payload: Tuple[ChildEvaluator, ChildArchitecture],
+    payload: Tuple[Optional[ChildEvaluator], ChildArchitecture],
 ) -> Tuple[EvaluationResult, float]:
-    """Worker task: evaluate one child (module-level so it pickles)."""
+    """Worker task: evaluate one child (module-level so it pickles).
+
+    ``evaluator`` is None when the pool shipped it to the worker process once
+    at startup (``EngineConfig.share_evaluator``); it is then read back from
+    the worker's shared slot instead of travelling with every task.
+    """
     evaluator, child = payload
+    if evaluator is None:
+        evaluator = workers_module.process_shared()
     start = time.perf_counter()
     result = evaluator.evaluate(child)
     return result, time.perf_counter() - start
@@ -339,7 +350,12 @@ class SearchEngine:
 
         start = time.perf_counter()
         episodes_since_checkpoint = 0
-        pool = create_pool(self.config.backend, self.config.num_workers)
+        shared = (
+            search.evaluator
+            if self.config.backend == "process" and self.config.share_evaluator
+            else None
+        )
+        pool = create_pool(self.config.backend, self.config.num_workers, shared=shared)
         try:
             while self._next_episode < num_episodes:
                 wave = min(wave_size, num_episodes - self._next_episode)
@@ -438,7 +454,10 @@ class SearchEngine:
                 first_by_key[job.cache_key] = job
             unique.append(job)
         if unique:
-            payloads = [(self.search.evaluator, job.child) for job in unique]
+            # Pools that shipped the evaluator at startup get child-only
+            # payloads; the worker reads the evaluator from its shared slot.
+            evaluator = None if pool.uses_shared else self.search.evaluator
+            payloads = [(evaluator, job.child) for job in unique]
             results = pool.map_ordered(_evaluate_payload, payloads)
             for job, ((evaluation, elapsed), worker) in zip(unique, results):
                 job.evaluation = evaluation

@@ -14,9 +14,12 @@ Backends:
 * ``thread``  -- a ``ThreadPoolExecutor``; numpy releases the GIL inside its
   kernels, so CPU-bound training overlaps across threads with zero pickling
   cost.
-* ``process`` -- a ``ProcessPoolExecutor``; true multi-core parallelism at
-  the cost of pickling the evaluator and child per task.  The mapped function
-  and its payloads must be picklable (module-level functions only).
+* ``process`` -- a ``ProcessPoolExecutor``; true multi-core parallelism.
+  The mapped function and its payloads must be picklable (module-level
+  functions only).  A ``shared`` object passed to :func:`create_pool` is
+  shipped to each worker process exactly once (via the executor's
+  initializer) instead of being re-pickled with every task; tasks read it
+  back with :func:`process_shared`.
 """
 
 from __future__ import annotations
@@ -24,17 +27,34 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 WorkerResult = Tuple[Any, str]
 
 BACKENDS = ("serial", "thread", "process")
+
+# Set once per worker process by the pool initializer (never in the parent).
+_PROCESS_SHARED: Any = None
+
+
+def _init_process_worker(shared: Any) -> None:
+    """Executor initializer: unpickle the shared payload once per worker."""
+    global _PROCESS_SHARED
+    _PROCESS_SHARED = shared
+
+
+def process_shared() -> Any:
+    """The per-process shared object installed by the pool initializer."""
+    return _PROCESS_SHARED
 
 
 class WorkerPool:
     """Interface shared by all execution backends."""
 
     name: str = "abstract"
+    # True when this pool delivered a shared object to its workers at startup
+    # (so callers can strip it from per-task payloads).
+    uses_shared: bool = False
 
     def map_ordered(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
@@ -89,15 +109,28 @@ class ThreadPool(WorkerPool):
 
 
 class ProcessPool(WorkerPool):
-    """Evaluates payloads on a ``ProcessPoolExecutor`` (picklable tasks only)."""
+    """Evaluates payloads on a ``ProcessPoolExecutor`` (picklable tasks only).
+
+    With ``shared`` given, the object is pickled into each worker process
+    exactly once at startup; tasks retrieve it via :func:`process_shared`
+    instead of carrying it in every payload.
+    """
 
     name = "process"
 
-    def __init__(self, num_workers: int = 2):
+    def __init__(self, num_workers: int = 2, shared: Any = None):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.num_workers = num_workers
-        self._executor = ProcessPoolExecutor(max_workers=num_workers)
+        self.uses_shared = shared is not None
+        if self.uses_shared:
+            self._executor = ProcessPoolExecutor(
+                max_workers=num_workers,
+                initializer=_init_process_worker,
+                initargs=(shared,),
+            )
+        else:
+            self._executor = ProcessPoolExecutor(max_workers=num_workers)
 
     def map_ordered(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
@@ -119,12 +152,19 @@ def _process_tagged(fn: Callable[[Any], Any], payload: Any) -> WorkerResult:
     return fn(payload), f"process-{os.getpid()}"
 
 
-def create_pool(backend: str, num_workers: int = 2) -> WorkerPool:
-    """Instantiate a worker pool by backend name."""
+def create_pool(
+    backend: str, num_workers: int = 2, shared: Optional[Any] = None
+) -> WorkerPool:
+    """Instantiate a worker pool by backend name.
+
+    ``shared`` is delivered once per worker on the ``process`` backend (see
+    :class:`ProcessPool`); the in-process backends ignore it -- their tasks
+    already share the caller's objects by reference.
+    """
     if backend == "serial":
         return SerialPool()
     if backend == "thread":
         return ThreadPool(num_workers)
     if backend == "process":
-        return ProcessPool(num_workers)
+        return ProcessPool(num_workers, shared=shared)
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

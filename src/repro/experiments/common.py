@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.api.spec import DatasetSpec, DesignSpecConfig, RunSpec, SearchParams
 from repro.core.reward import RewardConfig, compute_reward
 from repro.data.balancing import balance_minority
 from repro.data.dataset import DatasetSplits, GroupedDataset, stratified_split
@@ -111,6 +112,52 @@ def _apply_normalisation(
 ) -> GroupedDataset:
     images, _, _ = normalize_images(dataset.images, mean, std)
     return GroupedDataset(images, dataset.labels, dataset.groups, dataset.group_names)
+
+
+def search_spec(
+    preset: ScalePreset,
+    strategy: str = "fahana",
+    *,
+    episodes: Optional[int] = None,
+    seed: int = 0,
+    timing_constraint_ms: float = 1500.0,
+    accuracy_constraint: float = 0.0,
+    minority_multiplier: float = 1.0,
+) -> RunSpec:
+    """The declarative :class:`RunSpec` for one search at a preset scale.
+
+    This is the single translation point from :class:`ScalePreset` knobs to
+    the run API -- the harnesses that run searches (Table 2, Figure 5) build
+    their specs here and hand them to :func:`repro.api.run.run` together
+    with the normalised splits from :func:`prepare_data`.  Child training
+    uses the legacy batch size (32) so spec-driven runs reproduce the
+    historical harness results exactly.
+    """
+    dermatology = preset.dermatology_config(minority_multiplier)
+    return RunSpec(
+        strategy=strategy,
+        dataset=DatasetSpec(
+            image_size=dermatology.image_size,
+            num_classes=dermatology.num_classes,
+            samples_per_class=dermatology.samples_per_class_majority,
+            minority_fraction=dermatology.minority_fraction,
+            dark_contrast=dermatology.dark_contrast,
+            seed=dermatology.seed,
+            split_seed=seed,
+        ),
+        design=DesignSpecConfig(
+            timing_constraint_ms=timing_constraint_ms,
+            accuracy_constraint=accuracy_constraint,
+        ),
+        search=SearchParams(
+            episodes=episodes or preset.search_episodes,
+            width_multiplier=preset.width_multiplier,
+            child_epochs=preset.child_epochs,
+            pretrain_epochs=preset.pretrain_epochs,
+            max_searchable=preset.max_searchable,
+            seed=seed,
+        ),
+    )
 
 
 def evaluate_architecture(

@@ -10,10 +10,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.core.api import default_design_spec, run_fahana_search
+from repro.api.run import run as run_spec
 from repro.core.fahana import FaHaNaResult
 from repro.core.results import EpisodeRecord
-from repro.experiments.common import ArchitectureEvaluation, evaluate_architecture, prepare_data
+from repro.experiments.common import (
+    ArchitectureEvaluation,
+    evaluate_architecture,
+    prepare_data,
+    search_spec,
+)
 from repro.experiments.presets import ScalePreset, get_preset
 from repro.utils.pareto import pareto_frontier
 from repro.utils.tabulate import format_table
@@ -56,17 +61,17 @@ def run(
     """Reproduce Figure 5 at the chosen scale."""
     preset = preset or get_preset("ci")
     data = prepare_data(preset, seed)
-    search = run_fahana_search(
-        data.splits.train,
-        data.splits.validation,
-        default_design_spec(timing_constraint_ms=timing_constraint_ms),
-        episodes=episodes or preset.search_episodes,
-        width_multiplier=preset.width_multiplier,
-        child_epochs=preset.child_epochs,
-        pretrain_epochs=preset.pretrain_epochs,
-        max_searchable=preset.max_searchable,
-        seed=seed,
-    )
+    search = run_spec(
+        search_spec(
+            preset,
+            "fahana",
+            episodes=episodes,
+            seed=seed,
+            timing_constraint_ms=timing_constraint_ms,
+        ),
+        train_dataset=data.splits.train,
+        validation_dataset=data.splits.validation,
+    ).result
     existing = [
         evaluate_architecture(name, preset, seed) for name in COMPARISON_NETWORKS
     ]

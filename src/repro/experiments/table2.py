@@ -10,10 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.api import default_design_spec, run_fahana_search, run_monas_search
+from repro.api.run import run as run_spec
 from repro.core.fahana import FaHaNaResult
 from repro.experiments import paper_values
-from repro.experiments.common import prepare_data
+from repro.experiments.common import prepare_data, search_spec
 from repro.experiments.presets import ScalePreset, get_preset
 from repro.utils.tabulate import format_table
 
@@ -50,27 +50,19 @@ def run(
     budget = episodes or preset.search_episodes
     runs: Dict[str, Dict[str, FaHaNaResult]] = {"MONAS": {}, "FaHaNa": {}}
     for constraint, tc in (("tight", tight_tc_ms), ("relaxed", relaxed_tc_ms)):
-        spec = default_design_spec(timing_constraint_ms=tc)
-        runs["MONAS"][constraint] = run_monas_search(
-            data.splits.train,
-            data.splits.validation,
-            spec,
-            episodes=budget,
-            width_multiplier=preset.width_multiplier,
-            child_epochs=preset.child_epochs,
-            seed=seed,
-        )
-        runs["FaHaNa"][constraint] = run_fahana_search(
-            data.splits.train,
-            data.splits.validation,
-            spec,
-            episodes=budget,
-            width_multiplier=preset.width_multiplier,
-            child_epochs=preset.child_epochs,
-            pretrain_epochs=preset.pretrain_epochs,
-            max_searchable=preset.max_searchable,
-            seed=seed,
-        )
+        for method, strategy in (("MONAS", "monas"), ("FaHaNa", "fahana")):
+            spec = search_spec(
+                preset,
+                strategy,
+                episodes=budget,
+                seed=seed,
+                timing_constraint_ms=tc,
+            )
+            runs[method][constraint] = run_spec(
+                spec,
+                train_dataset=data.splits.train,
+                validation_dataset=data.splits.validation,
+            ).result
     return Table2Result(runs=runs, preset_name=preset.name)
 
 
