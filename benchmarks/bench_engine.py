@@ -10,14 +10,22 @@ scale) through ``repro.run`` under different engine configurations:
   content-addressed evaluation cache,
 * the process backend with and without the shared-evaluator worker
   initializer (``EngineConfig.share_evaluator``), reporting how much
-  shipping the evaluator once per worker saves over re-pickling it per task.
+  shipping the evaluator once per worker saves over re-pickling it per task,
+* a staged multi-fidelity run (proxy stage at reduced epochs/data, top half
+  of each wave promoted to full training), reporting how many full-fidelity
+  trainings the successive-halving schedule saves at the same episode budget.
 
-Asserts the engine's headline guarantees: backend-independent rewards and
-training-free cache replays.
+Asserts the engine's headline guarantees: backend-independent rewards,
+training-free cache replays, and >= 2x fewer full-fidelity trainings under
+the multi-fidelity schedule.  Results are written to ``BENCH_engine.json``
+(override the location with the ``BENCH_ENGINE_JSON`` environment variable)
+so CI can archive the perf trajectory.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 from conftest import run_once
@@ -28,9 +36,22 @@ from repro.experiments.common import prepare_data, search_spec
 
 EPISODES = 4
 
+MULTI_FIDELITY_EVALUATION = {
+    "fidelities": [
+        {"name": "proxy", "epochs": 1, "data_fraction": 0.5, "promote_fraction": 0.5},
+        {"name": "full"},
+    ]
+}
+
 
 def _spec(preset) -> "repro.RunSpec":
-    spec = search_spec(preset, "fahana", episodes=EPISODES, seed=0)
+    # The loose timing constraint keeps every sampled child trainable: at the
+    # bench scale the 1500 ms default rejects the whole wave at the latency
+    # gate, which would leave nothing for the backends (or the fidelity
+    # ladder) to actually evaluate.
+    spec = search_spec(
+        preset, "fahana", episodes=EPISODES, seed=0, timing_constraint_ms=1e6
+    )
     # One policy batch spans the whole run, so every backend evaluates the
     # same sampled children and parallelism is observable.
     return spec.with_overrides(values={"search.policy_batch": EPISODES})
@@ -71,17 +92,23 @@ def test_bench_engine(benchmark, bench_preset):
             splits,
             EngineConfig(backend="process", num_workers=2, share_evaluator=False),
         )
+        staged_spec = repro.RunSpec.from_dict(
+            {**spec.to_dict(), "evaluation": MULTI_FIDELITY_EVALUATION}
+        )
+        staged, staged_seconds = _timed_run(staged_spec, splits, EngineConfig())
         return {
             "serial": serial,
             "threaded": threaded,
             "warm": warm,
             "shared": shared,
             "unshared": unshared,
+            "staged": staged,
             "serial_seconds": serial_seconds,
             "thread_seconds": thread_seconds,
             "warm_seconds": warm_seconds,
             "shared_seconds": shared_seconds,
             "unshared_seconds": unshared_seconds,
+            "staged_seconds": staged_seconds,
         }
 
     outcome = run_once(benchmark, harness)
@@ -94,6 +121,33 @@ def test_bench_engine(benchmark, bench_preset):
     # A warm cache replays the search without a single training run.
     assert outcome["warm"].evaluations_run == 0
     assert all(record.cache_hit for record in outcome["warm"].history.records)
+    # The multi-fidelity schedule completes the same episode budget with at
+    # least 2x fewer full-fidelity trainings (top half of each wave promoted).
+    serial_full = outcome["serial"].evaluations_by_fidelity.get("full", 0)
+    staged_full = outcome["staged"].evaluations_by_fidelity.get("full", 0)
+    assert len(outcome["staged"].history) == EPISODES
+    assert serial_full > 0 and staged_full * 2 <= serial_full
+
+    payload = {
+        "episodes": EPISODES,
+        "seconds": {
+            "serial": outcome["serial_seconds"],
+            "thread": outcome["thread_seconds"],
+            "warm_cache": outcome["warm_seconds"],
+            "process_shared": outcome["shared_seconds"],
+            "process_unshared": outcome["unshared_seconds"],
+            "multi_fidelity": outcome["staged_seconds"],
+        },
+        "thread_speedup": outcome["serial_seconds"]
+        / max(outcome["thread_seconds"], 1e-9),
+        "warm_cache_hit_rate": outcome["warm"].cache_hit_rate,
+        "full_trainings": {"single_stage": serial_full, "multi_fidelity": staged_full},
+        "trainings_by_fidelity": dict(outcome["staged"].evaluations_by_fidelity),
+        "full_training_savings": 1.0 - staged_full / max(serial_full, 1),
+    }
+    output_path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
 
     print(
         f"\nengine bench ({EPISODES} episodes): "
@@ -108,4 +162,9 @@ def test_bench_engine(benchmark, bench_preset):
         f"per-task pickling {outcome['unshared_seconds']:.2f}s "
         f"(initializer saves "
         f"{outcome['unshared_seconds'] - outcome['shared_seconds']:+.2f}s)"
+    )
+    print(
+        f"multi-fidelity: {staged_full} full trainings vs {serial_full} "
+        f"single-stage ({payload['full_training_savings']:.0%} fewer) in "
+        f"{outcome['staged_seconds']:.2f}s; results in {output_path}"
     )

@@ -36,6 +36,8 @@ _API_EXPORTS = (
     "DatasetSpec",
     "DesignSpecConfig",
     "SearchParams",
+    "PipelineSettings",
+    "FidelityConfig",
     "register_strategy",
     "available_strategies",
     "get_strategy",

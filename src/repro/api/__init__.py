@@ -14,6 +14,7 @@ Everything here is re-exported at the package root: ``repro.run``,
 ``repro.RunSpec`` and friends are lazy aliases of these names.
 """
 
+from repro.core.pipeline import FidelityConfig, PipelineSettings
 from repro.api.spec import (
     DatasetSpec,
     DesignSpecConfig,
@@ -38,6 +39,8 @@ from repro.api.strategies import RandomSearch
 __all__ = [
     "DatasetSpec",
     "DesignSpecConfig",
+    "FidelityConfig",
+    "PipelineSettings",
     "RunSpec",
     "SearchParams",
     "SpecField",

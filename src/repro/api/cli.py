@@ -19,6 +19,8 @@ interface (``repro-search --episodes 10 ...``) still works and is handled by
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import Dict, List, Optional
 
@@ -96,6 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="parse and validate a spec, print its canonical form"
     )
     validate_parser.add_argument("spec", help="path to a spec JSON file")
+    validate_parser.add_argument(
+        "--print-key",
+        action="store_true",
+        help="print only the spec's cache key and the resolved engine "
+        "configuration (machine-readable JSON, nothing is executed) -- "
+        "groundwork for cross-run cache sharing",
+    )
 
     subparsers.add_parser("strategies", help="list the registered strategies")
     return parser
@@ -139,6 +148,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     spec = RunSpec.from_file(args.spec)
+    if args.print_key:
+        # The cache key fingerprints the computation (engine section
+        # excluded), so two hosts can agree on shared cache entries without
+        # running anything; the resolved engine config shows what *this*
+        # process would execute with (spec section > process default > serial).
+        engine = resolve_engine_config(spec.engine)
+        payload = {
+            "cache_key": spec.cache_key(),
+            "engine": {
+                f.name: getattr(engine, f.name)
+                for f in dataclasses.fields(engine)
+                if f.name != "cache"
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(spec.to_json())
     print(f"\ncache key: {spec.cache_key()}", file=sys.stderr)
     return 0

@@ -40,6 +40,10 @@ class RunReport:
     cache_hits: int
     cache_hit_rate: Optional[float]
     checkpoints_written: int
+    # Trainings per fidelity stage and whether reward-plateau detection
+    # stopped the run before its episode budget.
+    evaluations_by_fidelity: Dict[str, int] = field(default_factory=dict)
+    early_stopped: bool = False
     resumed_from: Optional[int] = None
     run_dir: Optional[str] = None
     telemetry_path: Optional[str] = None
@@ -68,6 +72,14 @@ class RunReport:
         if self.cache_hit_rate is not None:
             stats += f" (hit rate {self.cache_hit_rate:.1%})"
         stats += f", {self.checkpoints_written} checkpoints"
+        if len(self.evaluations_by_fidelity) > 1:
+            per_stage = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.evaluations_by_fidelity.items())
+            )
+            stats += f"; trainings by fidelity: {per_stage}"
+        if self.early_stopped:
+            stats += "; stopped early (reward plateau)"
         lines.append(stats)
         return "\n".join(lines)
 
@@ -78,6 +90,8 @@ class RunReport:
             "spec_cache_key": self.spec.cache_key(),
             "strategy": self.strategy,
             "evaluations_run": self.evaluations_run,
+            "evaluations_by_fidelity": dict(self.evaluations_by_fidelity),
+            "early_stopped": self.early_stopped,
             "cache_hits": self.cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
             "checkpoints_written": self.checkpoints_written,
@@ -195,6 +209,8 @@ def run(
         strategy=resolved.strategy,
         result=result,
         evaluations_run=search_engine.evaluations_run,
+        evaluations_by_fidelity=dict(search_engine.evaluations_by_fidelity),
+        early_stopped=search_engine.early_stopped,
         cache_hits=search_engine.cache_hits,
         cache_hit_rate=cache.hit_rate if cache is not None else None,
         checkpoints_written=search_engine.checkpoints_written,

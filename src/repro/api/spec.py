@@ -18,10 +18,21 @@ Sections:
 * ``design``    -- :class:`DesignSpecConfig`: device + timing/accuracy
   constraints, resolved to a :class:`~repro.hardware.constraints.DesignSpec`,
 * ``search``    -- :class:`SearchParams`: the strategy hyper-parameters
-  (same knobs and defaults as the legacy ``run_fahana_search``),
+  (same knobs and defaults as the legacy ``run_fahana_search``), plus the
+  engine-level schedule knobs (reward-plateau early stopping, adaptive wave
+  sizing),
+* ``evaluation`` -- :class:`~repro.core.pipeline.PipelineSettings`, reused
+  directly: optional parameter/storage gates and the multi-fidelity ladder
+  (proxy stages with successive-halving promotion).  Unset (None) means the
+  single full-fidelity stage that reproduces the seed evaluator bit for bit,
 * ``engine``    -- :class:`~repro.engine.engine.EngineConfig`, reused
   directly (the ``cache`` field, a live object, is not serializable; use
   ``cache_dir`` in specs).
+
+``evaluation`` and ``engine`` are the two optional sections: absent sections
+stay None so "not specified" round-trips as unset.  Unlike the engine
+section, the evaluation section *changes what a run computes*, so it is part
+of :meth:`RunSpec.cache_key` whenever present.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, List, Optional, Tuple, Type, get_args, get_origin, get_type_hints
 
+from repro.core.pipeline import FidelityConfig, PipelineSettings
 from repro.data.dataset import DatasetSplits, stratified_split
 from repro.data.dermatology import DermatologyConfig, DermatologyGenerator
 from repro.engine.engine import EngineConfig
@@ -138,6 +150,12 @@ class SearchParams:
     beta: float = 1.0
     seed: int = 0
     policy_batch: int = 1
+    # Engine-level schedule knobs.  They change which episodes run (and, with
+    # a staged evaluation section, which children get promoted), so they live
+    # in the search section and are part of the spec's cache key.
+    plateau_patience: Optional[int] = None
+    plateau_delta: float = 0.0
+    adaptive_wave: bool = False
 
     def __post_init__(self) -> None:
         if self.episodes <= 0:
@@ -150,6 +168,10 @@ class SearchParams:
             raise ValueError("policy_batch must be positive")
         if self.max_searchable is not None and self.max_searchable <= 0:
             raise ValueError("max_searchable must be positive when given")
+        if self.plateau_patience is not None and self.plateau_patience <= 0:
+            raise ValueError("plateau_patience must be positive when given")
+        if self.plateau_delta < 0:
+            raise ValueError("plateau_delta must be non-negative")
 
 
 _SECTIONS: Tuple[Tuple[str, type], ...] = ()  # filled in after RunSpec below
@@ -163,13 +185,16 @@ class RunSpec:
     explicit engine section that happens to spell out the defaults": None
     resolves against the process-wide default engine config (and ultimately
     plain serial), while a present section -- even an all-default one -- is
-    honoured verbatim.
+    honoured verbatim.  ``evaluation`` is Optional for the analogous reason:
+    None is the seed evaluator's single full-fidelity pipeline, and a spec
+    that never mentions the section keeps its historical cache key.
     """
 
     strategy: str = "fahana"
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
     design: DesignSpecConfig = field(default_factory=DesignSpecConfig)
     search: SearchParams = field(default_factory=SearchParams)
+    evaluation: Optional[PipelineSettings] = None
     engine: Optional[EngineConfig] = None
 
     # -- validation ---------------------------------------------------------------
@@ -194,6 +219,8 @@ class RunSpec:
             "design": _section_to_dict(self.design),
             "search": _section_to_dict(self.search),
         }
+        if self.evaluation is not None:
+            payload["evaluation"] = _section_to_dict(self.evaluation)
         if self.engine is not None:
             if self.engine.cache is not None:
                 raise ValueError(
@@ -226,8 +253,8 @@ class RunSpec:
             raise ValueError("'strategy' must be a non-empty string")
         kwargs: Dict[str, Any] = {"strategy": strategy}
         for name, section_cls in _SECTIONS:
-            if name == "engine" and name not in payload:
-                continue  # absent engine section stays None ("unset")
+            if name in _OPTIONAL_SECTIONS and name not in payload:
+                continue  # absent optional sections stay None ("unset")
             section_payload = payload.get(name, {})
             exclude = _ENGINE_EXCLUDED_FIELDS if section_cls is EngineConfig else ()
             kwargs[name] = _section_from_dict(
@@ -312,8 +339,18 @@ _SECTIONS = (
     ("dataset", DatasetSpec),
     ("design", DesignSpecConfig),
     ("search", SearchParams),
+    ("evaluation", PipelineSettings),
     ("engine", EngineConfig),
 )
+
+# Sections whose absence means "unset" (None) rather than "all defaults".
+_OPTIONAL_SECTIONS = ("evaluation", "engine")
+
+# Non-scalar spec fields: serialized as a JSON list of objects, parsed with
+# the element class below, and excluded from the generated CLI flags.
+_NESTED_LIST_FIELDS: Dict[Tuple[type, str], type] = {
+    (PipelineSettings, "fidelities"): FidelityConfig,
+}
 
 
 # -- schema introspection (drives the CLI flag generation) --------------------------
@@ -339,6 +376,8 @@ def spec_schema() -> List[SpecField]:
         for spec_field in fields(section_cls):
             if section_cls is EngineConfig and spec_field.name in _ENGINE_EXCLUDED_FIELDS:
                 continue
+            if (section_cls, spec_field.name) in _NESTED_LIST_FIELDS:
+                continue  # lists of objects have no single-flag CLI form
             value_type, optional = _unwrap_hint(hints[spec_field.name])
             schema.append(
                 SpecField(
@@ -356,11 +395,15 @@ def spec_schema() -> List[SpecField]:
 
 # -- helpers ------------------------------------------------------------------------
 def _section_to_dict(section: Any, exclude: Tuple[str, ...] = ()) -> Dict[str, Any]:
-    return {
-        f.name: getattr(section, f.name)
-        for f in fields(section)
-        if f.name not in exclude
-    }
+    payload: Dict[str, Any] = {}
+    for f in fields(section):
+        if f.name in exclude:
+            continue
+        value = getattr(section, f.name)
+        if (type(section), f.name) in _NESTED_LIST_FIELDS:
+            value = [_section_to_dict(entry) for entry in value]
+        payload[f.name] = value
+    return payload
 
 
 def _reject_unknown(payload: Dict[str, Any], allowed: List[str], where: str) -> None:
@@ -386,15 +429,33 @@ def _section_from_dict(
     hints = get_type_hints(section_cls)
     allowed = [f.name for f in fields(section_cls) if f.name not in exclude]
     _reject_unknown(payload, allowed, f"the {section!r} section")
-    kwargs = {
-        name: _coerce(payload[name], hints[name], f"{section}.{name}")
-        for name in allowed
-        if name in payload
-    }
+    kwargs = {}
+    for name in allowed:
+        if name not in payload:
+            continue
+        element_cls = _NESTED_LIST_FIELDS.get((section_cls, name))
+        if element_cls is not None:
+            kwargs[name] = _nested_list_from(
+                payload[name], element_cls, f"{section}.{name}"
+            )
+        else:
+            kwargs[name] = _coerce(payload[name], hints[name], f"{section}.{name}")
     try:
         return section_cls(**kwargs)
     except ValueError as error:
         raise ValueError(f"invalid {section!r} section: {error}") from None
+
+
+def _nested_list_from(payload: Any, element_cls: Type[Any], path: str) -> Tuple[Any, ...]:
+    """Parse a JSON list of objects into a tuple of ``element_cls`` instances."""
+    if not isinstance(payload, list):
+        raise ValueError(
+            f"{path} must be a JSON array of objects, got {type(payload).__name__}"
+        )
+    return tuple(
+        _section_from_dict(element_cls, entry, f"{path}[{index}]")
+        for index, entry in enumerate(payload)
+    )
 
 
 def _unwrap_hint(hint: Any) -> Tuple[type, bool]:

@@ -15,7 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.api.registry import register_strategy
-from repro.api.spec import RunSpec, SearchParams
+from repro.api.spec import RunSpec
 from repro.core.controller import ControllerSample, LSTMController
 from repro.core.fahana import FaHaNaConfig, FaHaNaSearch
 from repro.core.monas import MonasConfig, MonasSearch
@@ -27,8 +27,12 @@ from repro.nn.trainer import TrainingConfig
 from repro.utils.rng import SeedLike, new_rng
 
 
-def _fahana_config(params: SearchParams) -> FaHaNaConfig:
+def _fahana_config(spec: RunSpec) -> FaHaNaConfig:
     """The spec-driven equivalent of the legacy ``_fahana_config`` defaults."""
+    params = spec.search
+    kwargs = {}
+    if spec.evaluation is not None:
+        kwargs["pipeline"] = spec.evaluation
     return FaHaNaConfig(
         episodes=params.episodes,
         alpha=params.alpha,
@@ -48,6 +52,10 @@ def _fahana_config(params: SearchParams) -> FaHaNaConfig:
             batch_size=params.child_batch_size,
             seed=params.seed,
         ),
+        plateau_patience=params.plateau_patience,
+        plateau_delta=params.plateau_delta,
+        adaptive_wave=params.adaptive_wave,
+        **kwargs,
     )
 
 
@@ -63,7 +71,7 @@ def build_fahana(
     design_spec: DesignSpec,
 ) -> FaHaNaSearch:
     return FaHaNaSearch(
-        train_dataset, validation_dataset, design_spec, _fahana_config(spec.search)
+        train_dataset, validation_dataset, design_spec, _fahana_config(spec)
     )
 
 
@@ -81,6 +89,9 @@ def build_monas(
     # Mirrors the legacy run_monas_search construction: gamma, pretraining and
     # the searchable cap do not apply (MONAS searches every position and
     # trains every child from scratch).
+    kwargs = {}
+    if spec.evaluation is not None:
+        kwargs["pipeline"] = spec.evaluation
     config = MonasConfig(
         episodes=params.episodes,
         alpha=params.alpha,
@@ -98,6 +109,10 @@ def build_monas(
             batch_size=params.child_batch_size,
             seed=params.seed,
         ),
+        plateau_patience=params.plateau_patience,
+        plateau_delta=params.plateau_delta,
+        adaptive_wave=params.adaptive_wave,
+        **kwargs,
     )
     return MonasSearch(train_dataset, validation_dataset, design_spec, config)
 
@@ -190,5 +205,5 @@ def build_random(
     design_spec: DesignSpec,
 ) -> RandomSearch:
     return RandomSearch(
-        train_dataset, validation_dataset, design_spec, _fahana_config(spec.search)
+        train_dataset, validation_dataset, design_spec, _fahana_config(spec)
     )

@@ -11,6 +11,8 @@ This package implements the paper's primary contribution:
 * :mod:`repro.core.producer` -- the backbone architecture producer
   (Figure 4-3),
 * :mod:`repro.core.evaluator` -- the evaluator & trainer (Figure 4-4),
+* :mod:`repro.core.pipeline` -- the composable evaluation pipeline
+  (gates -> fidelities -> scoring) behind the evaluator,
 * :mod:`repro.core.fahana` -- the full FaHaNa search loop,
 * :mod:`repro.core.monas` -- the MONAS baseline used in Table 2.
 """
@@ -22,6 +24,12 @@ from repro.core.policy import PolicyGradientTrainer, PolicyGradientConfig
 from repro.core.freezing import FreezingAnalysis, feature_variation, find_split_point
 from repro.core.producer import BackboneProducer, ProducerConfig
 from repro.core.evaluator import ChildEvaluator, EvaluationConfig, EvaluationResult
+from repro.core.pipeline import (
+    EvaluationPipeline,
+    FidelityConfig,
+    PipelineSettings,
+    PricingReport,
+)
 from repro.core.results import EpisodeRecord, SearchHistory
 from repro.core.fahana import FaHaNaSearch, FaHaNaConfig
 from repro.core.monas import MonasSearch, MonasConfig
@@ -45,6 +53,10 @@ __all__ = [
     "ChildEvaluator",
     "EvaluationConfig",
     "EvaluationResult",
+    "EvaluationPipeline",
+    "FidelityConfig",
+    "PipelineSettings",
+    "PricingReport",
     "EpisodeRecord",
     "SearchHistory",
     "FaHaNaSearch",

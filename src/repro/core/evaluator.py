@@ -9,21 +9,25 @@ For every child the evaluator:
    when freezing is active) on the training split,
 3. measures overall and per-group accuracy on the validation split, computes
    the unfairness score and evaluates the reward (Eq. 1).
+
+The mechanics live in :class:`~repro.core.pipeline.EvaluationPipeline`
+(gate stages -> fidelity stages -> scoring); :class:`ChildEvaluator` is the
+stable facade around the default pipeline, and its configuration's
+``pipeline`` settings add parameter/storage gates or proxy fidelity stages
+for the engine's successive-halving promotion.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.core.pipeline import EvaluationPipeline, PipelineSettings
 from repro.core.producer import ChildArchitecture
-from repro.core.reward import INVALID_REWARD, RewardConfig, compute_reward
+from repro.core.reward import INVALID_REWARD, RewardConfig
 from repro.data.dataset import GroupedDataset
-from repro.fairness.report import FairnessReport, evaluate_fairness
 from repro.hardware.latency import LatencyEstimator
-from repro.nn.trainer import Trainer, TrainingConfig
-from repro.utils.rng import SeedLike
+from repro.nn.trainer import TrainingConfig
 
 
 @dataclass
@@ -33,6 +37,10 @@ class EvaluationConfig:
     reward: RewardConfig = field(default_factory=RewardConfig)
     training: TrainingConfig = field(default_factory=lambda: TrainingConfig(epochs=5))
     bypass_invalid: bool = True
+    # Shape of the evaluation pipeline: optional parameter/storage gates and
+    # the fidelity ladder (default: a single full-fidelity stage, which
+    # reproduces the seed evaluator exactly).
+    pipeline: PipelineSettings = field(default_factory=PipelineSettings)
 
     def __post_init__(self) -> None:
         if self.training.epochs < 0:
@@ -54,6 +62,9 @@ class EvaluationResult:
     meets_timing: bool
     meets_accuracy: bool
     train_seconds: float
+    # Which fidelity stage produced the result ("full" unless a staged
+    # pipeline stopped the child at a proxy stage).
+    fidelity: str = "full"
 
     @property
     def is_valid(self) -> bool:
@@ -77,56 +88,44 @@ class ChildEvaluator:
         self.validation_dataset = validation_dataset
         self.latency_estimator = latency_estimator
         self.config = config or EvaluationConfig()
-        self._trainer = Trainer(self.config.training)
+        self._pipeline: Optional[EvaluationPipeline] = None
+        self._pipeline_config: Optional[EvaluationConfig] = None
+        self.pipeline  # build (and validate) the pipeline eagerly
+
+    @property
+    def pipeline(self) -> EvaluationPipeline:
+        """The evaluation pipeline for the current configuration.
+
+        Rebuilt transparently whenever ``config`` (or one of its fields) has
+        been replaced since the last use, so post-construction configuration
+        tweaks keep affecting evaluation exactly as they did when the
+        evaluator was a monolith.
+        """
+        snapshot = EvaluationConfig(
+            reward=self.config.reward,
+            training=self.config.training,
+            bypass_invalid=self.config.bypass_invalid,
+            pipeline=self.config.pipeline,
+        )
+        if self._pipeline is None or snapshot != self._pipeline_config:
+            self._pipeline = EvaluationPipeline(
+                train_dataset=self.train_dataset,
+                validation_dataset=self.validation_dataset,
+                latency_estimator=self.latency_estimator,
+                reward=snapshot.reward,
+                training=snapshot.training,
+                settings=snapshot.pipeline,
+                bypass_invalid=snapshot.bypass_invalid,
+            )
+            self._pipeline_config = snapshot
+        return self._pipeline
+
+    @property
+    def _trainer(self):
+        """The full-fidelity trainer (kept for callers of the old attribute)."""
+        pipeline = self.pipeline
+        return pipeline.trainer(pipeline.final_fidelity)
 
     def evaluate(self, child: ChildArchitecture) -> EvaluationResult:
         """Price, (conditionally) train and score one child network."""
-        reward_config = self.config.reward
-        latency = self.latency_estimator.network_latency_ms(child.descriptor)
-        storage = child.descriptor.storage_mb()
-        num_parameters = child.descriptor.param_count()
-        meets_timing = latency <= reward_config.timing_constraint_ms
-
-        if not meets_timing and self.config.bypass_invalid:
-            return EvaluationResult(
-                latency_ms=latency,
-                storage_mb=storage,
-                num_parameters=num_parameters,
-                trained=False,
-                accuracy=0.0,
-                unfairness=0.0,
-                group_accuracy={},
-                reward=INVALID_REWARD,
-                meets_timing=False,
-                meets_accuracy=False,
-                train_seconds=0.0,
-            )
-
-        start = time.perf_counter()
-        self._trainer.fit(
-            child.model, self.train_dataset.images, self.train_dataset.labels
-        )
-        train_seconds = time.perf_counter() - start
-
-        report: FairnessReport = evaluate_fairness(
-            child.model, self.validation_dataset, self._trainer
-        )
-        reward = compute_reward(
-            accuracy=report.overall_accuracy,
-            unfairness=report.unfairness,
-            latency_ms=latency,
-            config=reward_config,
-        )
-        return EvaluationResult(
-            latency_ms=latency,
-            storage_mb=storage,
-            num_parameters=num_parameters,
-            trained=True,
-            accuracy=report.overall_accuracy,
-            unfairness=report.unfairness,
-            group_accuracy=dict(report.group_accuracy),
-            reward=reward,
-            meets_timing=meets_timing,
-            meets_accuracy=report.overall_accuracy >= reward_config.accuracy_constraint,
-            train_seconds=train_seconds,
-        )
+        return self.pipeline.evaluate(child)

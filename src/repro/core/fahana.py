@@ -15,12 +15,13 @@ checkpoint/resume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.controller import LSTMController
 from repro.core.evaluator import ChildEvaluator, EvaluationConfig
 from repro.core.freezing import FreezingAnalysis
+from repro.core.pipeline import PipelineSettings
 from repro.core.policy import PolicyGradientConfig, PolicyGradientTrainer
 from repro.core.producer import BackboneProducer, ProducerConfig
 from repro.core.results import EpisodeRecord, SearchHistory
@@ -51,6 +52,17 @@ class FaHaNaConfig:
     child_training: TrainingConfig = field(
         default_factory=lambda: TrainingConfig(epochs=5)
     )
+    # Shape of the evaluation pipeline (extra gates, proxy fidelity stages);
+    # the default single full-fidelity stage reproduces the seed evaluator.
+    pipeline: PipelineSettings = field(default_factory=PipelineSettings)
+    # Engine-level early stopping: stop the search once the best reward has
+    # not improved by more than plateau_delta for plateau_patience episodes
+    # (None disables plateau detection).
+    plateau_patience: Optional[int] = None
+    plateau_delta: float = 0.0
+    # Engine-level adaptive wave sizing: grow waves while episodes are cheap
+    # (gate rejections, cache hits), shrink back once every episode trains.
+    adaptive_wave: bool = False
     # Execution knobs (backend, cache, checkpointing); None falls back to the
     # process-wide default and ultimately to the plain serial engine, which
     # matches the original sequential loop exactly.
@@ -61,6 +73,10 @@ class FaHaNaConfig:
             raise ValueError("episodes must be positive")
         if self.alpha < 0 or self.beta < 0:
             raise ValueError("alpha and beta must be non-negative")
+        if self.plateau_patience is not None and self.plateau_patience <= 0:
+            raise ValueError("plateau_patience must be positive when given")
+        if self.plateau_delta < 0:
+            raise ValueError("plateau_delta must be non-negative")
 
 
 @dataclass
@@ -143,6 +159,14 @@ class FaHaNaSearch:
             accuracy_constraint=self.design_spec.accuracy_constraint,
             timing_constraint_ms=self.design_spec.timing_constraint_ms,
         )
+        # The design spec's storage budget is enforced by the pipeline's
+        # storage gate; an explicit pipeline limit takes precedence.
+        pipeline_settings = self.config.pipeline
+        design_storage = self.design_spec.hardware.max_storage_mb
+        if pipeline_settings.max_storage_mb is None and design_storage is not None:
+            pipeline_settings = replace(
+                pipeline_settings, max_storage_mb=design_storage
+            )
         estimator = LatencyEstimator(
             device=self.design_spec.hardware.device,
             resolution=self.producer.backbone.input_resolution,
@@ -155,6 +179,7 @@ class FaHaNaSearch:
                 reward=reward_config,
                 training=self.config.child_training,
                 bypass_invalid=True,
+                pipeline=pipeline_settings,
             ),
         )
         self._sample_rng = rngs[2]

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.core.evaluator import EvaluationConfig
+from repro.core.evaluator import ChildEvaluator, EvaluationConfig
 from repro.core.fahana import FaHaNaConfig, FaHaNaResult, FaHaNaSearch
 from repro.core.producer import ProducerConfig
 from repro.data.dataset import GroupedDataset
@@ -43,9 +43,17 @@ class MonasSearch(FaHaNaSearch):
         producer_config = replace(config.producer, freeze=False, pretrain_epochs=0)
         config = replace(config, producer=producer_config)
         super().__init__(train_dataset, validation_dataset, design_spec, config)
-        # MONAS trains every child before the specification check.
-        self.evaluator.config = EvaluationConfig(
-            reward=self.evaluator.config.reward,
-            training=self.evaluator.config.training,
-            bypass_invalid=False,
+        # MONAS trains every child before the specification check.  A fresh
+        # evaluator (rather than a mutated config) keeps the evaluation
+        # pipeline consistent with the configuration it exposes.
+        self.evaluator = ChildEvaluator(
+            train_dataset=self.evaluator.train_dataset,
+            validation_dataset=self.evaluator.validation_dataset,
+            latency_estimator=self.evaluator.latency_estimator,
+            config=EvaluationConfig(
+                reward=self.evaluator.config.reward,
+                training=self.evaluator.config.training,
+                bypass_invalid=False,
+                pipeline=self.evaluator.config.pipeline,
+            ),
         )

@@ -30,6 +30,12 @@ class EpisodeRecord:
     # the content-addressed cache, and which worker produced it.
     cache_hit: bool = False
     worker: str = ""
+    # Pipeline provenance: the fidelity stage that produced the recorded
+    # result, and the ordered stage names the child passed through
+    # (e.g. ["gate:latency"] for a rejection, ["proxy", "full"] after
+    # promotion).  Empty for pre-pipeline records.
+    fidelity: str = "full"
+    stages: List[str] = field(default_factory=list)
 
     @property
     def is_valid(self) -> bool:

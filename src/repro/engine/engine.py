@@ -37,9 +37,16 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+import math
+
 from repro.core.controller import ControllerSample
 from repro.core.evaluator import ChildEvaluator, EvaluationResult
 from repro.core.fahana import FaHaNaResult, FaHaNaSearch
+from repro.core.pipeline import (
+    FidelityConfig,
+    PricingReport,
+    snapshot_weights,
+)
 from repro.core.producer import ChildArchitecture
 from repro.core.results import EpisodeRecord, SearchHistory
 from repro.engine import checkpoint as checkpoint_io
@@ -48,9 +55,14 @@ from repro.engine.events import (
     BATCH_FINISHED,
     CACHE_HIT,
     CHECKPOINT_WRITTEN,
+    EARLY_STOPPED,
     EPISODE_FINISHED,
+    GATE_REJECTED,
     RUN_FINISHED,
     RUN_STARTED,
+    STAGE_FINISHED,
+    WAVE_PROMOTED,
+    WAVE_RESIZED,
     EngineEvent,
     EventBus,
     JsonlTelemetry,
@@ -143,6 +155,13 @@ class _EpisodeJob:
     cache_hit: bool = False
     worker: str = ""
     elapsed_seconds: float = 0.0
+    # Staged-pipeline state (multi-fidelity runs only).
+    pricing: Optional[PricingReport] = None
+    initial_weights: Optional[Dict[str, Any]] = None
+    stage_result: Optional[EvaluationResult] = None
+    stage_cached: bool = False
+    stage_worker: str = ""
+    stages: List[str] = field(default_factory=list)
 
 
 def _evaluate_payload(
@@ -162,6 +181,33 @@ def _evaluate_payload(
     return result, time.perf_counter() - start
 
 
+def _evaluate_stage_payload(
+    payload: Tuple[
+        Optional[ChildEvaluator],
+        ChildArchitecture,
+        str,
+        Optional[PricingReport],
+        Optional[Dict[str, Any]],
+    ],
+) -> Tuple[EvaluationResult, float]:
+    """Worker task: train one child at one fidelity stage (staged runs).
+
+    ``initial_weights`` is the snapshot taken before the child's first stage;
+    restoring it makes every stage train from the same initial weights
+    regardless of backend (in-process pools mutate the parent's model, the
+    process pool trains a pickled copy)."""
+    evaluator, child, fidelity_name, pricing, initial_weights = payload
+    if evaluator is None:
+        evaluator = workers_module.process_shared()
+    pipeline = evaluator.pipeline
+    fidelity = pipeline.fidelity(fidelity_name)
+    start = time.perf_counter()
+    result = pipeline.train_and_score(
+        child, fidelity, pricing=pricing, restore_from=initial_weights
+    )
+    return result, time.perf_counter() - start
+
+
 class SearchEngine:
     """Executes a FaHaNa/MONAS search with batching, caching and checkpoints."""
 
@@ -174,7 +220,12 @@ class SearchEngine:
         # O(bytes) work the default no-cache/no-checkpoint path never needs.
         self._context_key: Optional[str] = None
         self.evaluations_run = 0
+        self.evaluations_by_fidelity: Dict[str, int] = {}
         self.checkpoints_written = 0
+        self.early_stopped = False
+        # Reward-plateau tracking (seeded from a restored history on resume).
+        self._best_reward = float("-inf")
+        self._best_episode = -1
         self._restored_history: Optional[SearchHistory] = None
         self._restored_seconds = 0.0
         self._next_episode = 0
@@ -214,6 +265,10 @@ class SearchEngine:
         """
         search = self.search
         evaluator = search.evaluator
+        # Read from the live pipeline (what actually runs), not the config
+        # object -- the two could otherwise drift if a search subclass swaps
+        # configurations after construction.
+        pipeline = evaluator.pipeline
         backbone_model = search.producer.backbone_model
         backbone_weights = (
             None
@@ -225,14 +280,21 @@ class SearchEngine:
         )
         return content_fingerprint(
             {
-                "training": asdict(evaluator.config.training),
-                "reward": asdict(evaluator.config.reward),
-                "bypass_invalid": evaluator.config.bypass_invalid,
+                "training": asdict(pipeline.training),
+                "reward": asdict(pipeline.reward),
+                "bypass_invalid": pipeline.bypass_invalid,
                 "device": evaluator.latency_estimator.device.name,
                 "resolution": evaluator.latency_estimator.resolution,
                 "width_multiplier": search.config.producer.width_multiplier,
                 "split_block": search.producer.split_block,
                 "backbone_weights": backbone_weights,
+                # Gate limits invalidate cached results when they change (a
+                # rejected child under a tight budget may train under a loose
+                # one); the fidelity ladder deliberately does not -- each
+                # stage's budget is part of the per-fidelity cache key, so
+                # full-fidelity results are shared across schedules.
+                "max_parameters": pipeline.settings.max_parameters,
+                "max_storage_mb": pipeline.settings.max_storage_mb,
                 "num_classes": search.train_dataset.num_classes,
                 "train_data": array_fingerprint(search.train_dataset.images),
                 "train_labels": array_fingerprint(search.train_dataset.labels),
@@ -248,9 +310,22 @@ class SearchEngine:
             }
         )
 
-    def child_cache_key(self, descriptor: ArchitectureDescriptor) -> str:
-        """Full cache key of one child under this engine's evaluation context."""
-        return combine_fingerprints(descriptor.cache_key(), self.context_key)
+    def child_cache_key(
+        self,
+        descriptor: ArchitectureDescriptor,
+        fidelity: Optional[FidelityConfig] = None,
+    ) -> str:
+        """Cache key of one child under this engine's evaluation context.
+
+        Keys are fidelity-aware: a proxy result (reduced epochs or data) and
+        a full-fidelity result of the same child never collide.  Full-budget
+        stages keep the historical two-part key, so full results are shared
+        between staged and single-stage runs of the same configuration.
+        """
+        base = combine_fingerprints(descriptor.cache_key(), self.context_key)
+        if fidelity is None or fidelity.is_full:
+            return base
+        return combine_fingerprints(base, fidelity.fingerprint())
 
     @property
     def cache_hits(self) -> int:
@@ -311,6 +386,65 @@ class SearchEngine:
             payload={"path": path, "next_episode": self._next_episode},
         )
 
+    # -- engine-level scheduling ---------------------------------------------------
+    @property
+    def pipeline(self):
+        """The evaluator's staged evaluation pipeline."""
+        return self.search.evaluator.pipeline
+
+    @property
+    def staged(self) -> bool:
+        """True when the pipeline has proxy fidelities (promotion applies)."""
+        return self.pipeline.settings.staged
+
+    def _note_reward(self, episode: int, reward: float) -> None:
+        """Track the best reward for plateau detection."""
+        delta = getattr(self.search.config, "plateau_delta", 0.0)
+        if reward > self._best_reward + delta or self._best_episode < 0:
+            self._best_reward = max(self._best_reward, reward)
+            self._best_episode = episode
+
+    def _plateaued(self) -> bool:
+        """True once the best reward stalled for ``plateau_patience`` episodes."""
+        patience = getattr(self.search.config, "plateau_patience", None)
+        if patience is None or self._next_episode == 0:
+            return False
+        return self._next_episode - 1 - self._best_episode >= patience
+
+    def _update_wave_size(self, jobs: List[_EpisodeJob], base: int, cap: int) -> None:
+        """Adapt the wave size to the cost of the wave that just finished.
+
+        Waves double while at least half their episodes were free -- cheap
+        episodes may as well batch up -- and halve back toward the configured
+        size once every episode paid for a training run.  "Free" always
+        includes gate rejections; cache hits count as free only on
+        single-fidelity runs, where wave size cannot change results.  On
+        staged runs the wave size shapes promotion cohorts, so the rule must
+        read evaluation *outcomes* (identical between a cold run and a warm
+        cache replay), never cache state.
+        """
+        staged = self.staged
+        trained = sum(
+            1
+            for job in jobs
+            if job.evaluation.trained and (staged or not job.cache_hit)
+        )
+        wave = len(jobs)
+        previous = self._wave_size
+        if trained * 2 <= wave:
+            self._wave_size = min(self._wave_size * 2, cap)
+        elif trained == wave:
+            self._wave_size = max(base, self._wave_size // 2)
+        if self._wave_size != previous:
+            self._emit(
+                WAVE_RESIZED,
+                payload={
+                    "wave_size": self._wave_size,
+                    "previous": previous,
+                    "trained": trained,
+                },
+            )
+
     # -- the search loop ----------------------------------------------------------
     def run(self, episodes: Optional[int] = None) -> FaHaNaResult:
         """Run (or continue) the search up to ``episodes`` total episodes."""
@@ -327,9 +461,29 @@ class SearchEngine:
                 f"policy-gradient batch_episodes ({policy_batch}); raise "
                 "PolicyGradientConfig.batch_episodes to evaluate larger waves"
             )
+        adaptive = getattr(search.config, "adaptive_wave", False)
+        self._wave_size = wave_size
+        staged = self.staged
+        if (
+            staged
+            and wave_size == 1
+            and any(f.promote_fraction < 1.0 for f in self.pipeline.fidelities[:-1])
+        ):
+            # A one-child wave promotes its only valid child every time, so
+            # each episode would pay for proxy AND full training -- strictly
+            # worse than the single-stage pipeline it is meant to beat.
+            raise ValueError(
+                "a multi-fidelity ladder needs waves of at least 2 episodes "
+                "to promote a strict subset; raise search.policy_batch (and "
+                "optionally engine.batch_episodes), or set every "
+                "promote_fraction to 1.0 if training all children at every "
+                "fidelity is intended"
+            )
 
         if self._restored_history is not None:
             history = self._restored_history
+            for record in history.records:
+                self._note_reward(record.episode, record.reward)
         else:
             history = SearchHistory(
                 space_size=search.producer.space_size(),
@@ -345,6 +499,8 @@ class SearchEngine:
                 "start_episode": self._next_episode,
                 "wave_size": wave_size,
                 "cache": self.cache is not None,
+                "staged": staged,
+                "fidelities": [f.name for f in self.pipeline.fidelities],
             },
         )
 
@@ -358,9 +514,29 @@ class SearchEngine:
         pool = create_pool(self.config.backend, self.config.num_workers, shared=shared)
         try:
             while self._next_episode < num_episodes:
-                wave = min(wave_size, num_episodes - self._next_episode)
+                if self._plateaued():
+                    self.early_stopped = True
+                    self._emit(
+                        EARLY_STOPPED,
+                        payload={
+                            "episodes_done": self._next_episode,
+                            "best_episode": self._best_episode,
+                            "best_reward": self._best_reward,
+                            "patience": search.config.plateau_patience,
+                        },
+                    )
+                    break
+                wave = min(self._wave_size, num_episodes - self._next_episode)
+                if adaptive:
+                    # Adaptive waves stay aligned to policy-batch boundaries so
+                    # resizing never changes when the controller updates.
+                    boundary = policy_batch - (self._next_episode % policy_batch)
+                    wave = min(wave, boundary)
                 jobs = self._sample_wave(wave)
-                self._evaluate_wave(jobs, pool)
+                if staged:
+                    self._evaluate_wave_staged(jobs, pool)
+                else:
+                    self._evaluate_wave(jobs, pool)
                 for job in jobs:
                     self._observe(job, history)
                 self._next_episode += wave
@@ -373,6 +549,8 @@ class SearchEngine:
                         "backend": pool.name,
                     },
                 )
+                if adaptive:
+                    self._update_wave_size(jobs, base=wave_size, cap=policy_batch)
                 if (
                     self.config.run_dir is not None
                     and self.config.checkpoint_every > 0
@@ -393,7 +571,9 @@ class SearchEngine:
             payload={
                 "episodes": len(history),
                 "evaluations_run": self.evaluations_run,
+                "evaluations_by_fidelity": dict(self.evaluations_by_fidelity),
                 "cache_hits": self.cache_hits,
+                "early_stopped": self.early_stopped,
                 "total_seconds": history.total_seconds,
             },
         )
@@ -407,7 +587,13 @@ class SearchEngine:
 
     # -- wave phases --------------------------------------------------------------
     def _sample_wave(self, wave: int) -> List[_EpisodeJob]:
-        """Sample/produce ``wave`` children in strict episode order."""
+        """Sample/produce ``wave`` children in strict episode order.
+
+        In staged (multi-fidelity) runs the per-child cache lookups happen at
+        each fidelity stage instead of here: an episode's final result then
+        depends on wave-relative promotion, so sample-time short-circuiting
+        would make cached and uncached runs diverge.
+        """
         search = self.search
         jobs: List[_EpisodeJob] = []
         for offset in range(wave):
@@ -415,7 +601,7 @@ class SearchEngine:
             sample = search.controller.sample(rng=search._sample_rng)
             descriptor = search.producer.describe_child(sample.decisions)
             job = _EpisodeJob(episode=episode, sample=sample, descriptor=descriptor)
-            if self.cache is not None:
+            if self.cache is not None and not self.staged:
                 job.cache_key = self.child_cache_key(descriptor)
                 cached = self.cache.get(job.cache_key)
                 if cached is not None:
@@ -464,6 +650,10 @@ class SearchEngine:
                 job.worker = worker
                 job.elapsed_seconds = elapsed
                 self.evaluations_run += 1
+                if evaluation.trained:
+                    self.evaluations_by_fidelity[evaluation.fidelity] = (
+                        self.evaluations_by_fidelity.get(evaluation.fidelity, 0) + 1
+                    )
                 if self.cache is not None and job.cache_key is not None:
                     self.cache.put(job.cache_key, evaluation)
         for job in pending:
@@ -478,11 +668,206 @@ class SearchEngine:
                     payload={"key": job.cache_key, "reward": job.evaluation.reward},
                 )
 
+    # -- the staged (multi-fidelity) wave ------------------------------------------
+    def _evaluate_wave_staged(self, jobs: List[_EpisodeJob], pool: WorkerPool) -> None:
+        """Drive one wave through gates and the fidelity ladder.
+
+        Gate stages run in the engine (pricing needs only the descriptor and
+        the offline latency table), so gate rejections never reach a worker
+        and do not count toward ``evaluations_run`` -- unlike the
+        single-stage path, where the worker prices (and counts) them.  Each
+        fidelity stage trains the current survivors on the worker pool, then
+        promotes the top ``promote_fraction`` of the wave's valid children to
+        the next stage.
+        Children that stop early keep their proxy-stage result as the
+        episode's reward -- the staged generalisation of the paper's "price
+        before train" refusal.  Cache lookups are per (child, fidelity), so
+        replays skip the training without changing any promotion decision.
+        """
+        pipeline = self.pipeline
+        survivors: List[_EpisodeJob] = []
+        for job in jobs:
+            pricing = pipeline.price(job.descriptor)
+            job.pricing = pricing
+            if not pricing.passed and pipeline.bypass_invalid:
+                job.evaluation = pipeline.rejection_result(pricing)
+                job.stages = [f"gate:{outcome.gate}" for outcome in pricing.failures()]
+                job.worker = "gate"
+                self._emit(
+                    GATE_REJECTED,
+                    episode=job.episode,
+                    payload={
+                        "gates": [outcome.gate for outcome in pricing.failures()],
+                        "latency_ms": pricing.latency_ms,
+                    },
+                )
+            else:
+                survivors.append(job)
+        if len(pipeline.fidelities) > 1 and self.config.backend != "process":
+            # Promotion re-trains later stages from the child's initial
+            # weights, which in-process proxy training would otherwise have
+            # mutated.  Process workers train a pickled copy, so the parent's
+            # model already holds the initial weights and shipping a snapshot
+            # would double every promoted task's payload for no effect.
+            for job in survivors:
+                job.initial_weights = snapshot_weights(job.child.model)
+
+        stages = pipeline.fidelities
+        for index, fidelity in enumerate(stages):
+            if not survivors:
+                break
+            is_last = index == len(stages) - 1
+            evaluated = self._run_stage(survivors, fidelity, index, pool)
+            self._emit(
+                STAGE_FINISHED,
+                payload={
+                    "stage": fidelity.name,
+                    "children": len(survivors),
+                    "evaluated": evaluated,
+                    "cached": len(survivors) - evaluated,
+                },
+            )
+            for job in survivors:
+                job.stages.append(fidelity.name)
+            if is_last:
+                for job in survivors:
+                    self._finalize_staged_job(job)
+                break
+            ranked = sorted(
+                survivors, key=lambda job: (-job.stage_result.reward, job.episode)
+            )
+            eligible = [job for job in ranked if job.stage_result.is_valid]
+            # The quota is a fraction of the wave's *valid* children: invalid
+            # proxy results can never win, so they neither advance nor pad
+            # the promotion budget of the children that can.
+            quota = (
+                max(1, math.ceil(len(eligible) * fidelity.promote_fraction))
+                if eligible
+                else 0
+            )
+            promoted = eligible[:quota]
+            promoted_ids = {id(job) for job in promoted}
+            for job in survivors:
+                if id(job) not in promoted_ids:
+                    self._finalize_staged_job(job)
+            self._emit(
+                WAVE_PROMOTED,
+                payload={
+                    "stage": fidelity.name,
+                    "next_stage": stages[index + 1].name,
+                    "promoted": [job.episode for job in promoted],
+                    "stopped": len(survivors) - len(promoted),
+                },
+            )
+            survivors = promoted
+
+    def _run_stage(
+        self,
+        survivors: List[_EpisodeJob],
+        fidelity: FidelityConfig,
+        stage_index: int,
+        pool: WorkerPool,
+    ) -> int:
+        """Evaluate one fidelity stage for ``survivors``; returns trainings run.
+
+        With caching on, duplicate children within the wave train once per
+        stage and share the result, exactly as they would across waves
+        through the cache; with caching off every survivor trains, matching
+        the cache-off single-fidelity semantics.
+        """
+        for job in survivors:
+            job.stage_result = None
+            job.stage_cached = False
+            job.stage_worker = ""
+            job.cache_key = (
+                self.child_cache_key(job.descriptor, fidelity)
+                if self.cache is not None
+                else None
+            )
+            if self.cache is not None:
+                cached = self.cache.get(job.cache_key)
+                if cached is not None:
+                    job.stage_result = cached
+                    job.stage_cached = True
+                    job.stage_worker = "cache"
+                    self._emit(
+                        CACHE_HIT,
+                        episode=job.episode,
+                        payload={
+                            "key": job.cache_key,
+                            "stage": fidelity.name,
+                            "reward": cached.reward,
+                        },
+                    )
+
+        first_by_key: Dict[str, _EpisodeJob] = {}
+        unique: List[_EpisodeJob] = []
+        for job in survivors:
+            if job.stage_result is not None:
+                continue
+            if self.cache is None:
+                unique.append(job)
+                continue
+            dedupe_key = combine_fingerprints(job.descriptor.cache_key(), fidelity.name)
+            if dedupe_key in first_by_key:
+                continue
+            first_by_key[dedupe_key] = job
+            unique.append(job)
+        if unique:
+            evaluator = None if pool.uses_shared else self.search.evaluator
+            payloads = [
+                (
+                    evaluator,
+                    job.child,
+                    fidelity.name,
+                    job.pricing,
+                    job.initial_weights if stage_index > 0 else None,
+                )
+                for job in unique
+            ]
+            results = pool.map_ordered(_evaluate_stage_payload, payloads)
+            for job, ((evaluation, elapsed), worker) in zip(unique, results):
+                job.stage_result = evaluation
+                job.stage_worker = worker
+                job.elapsed_seconds += elapsed
+                self.evaluations_run += 1
+                self.evaluations_by_fidelity[fidelity.name] = (
+                    self.evaluations_by_fidelity.get(fidelity.name, 0) + 1
+                )
+                if self.cache is not None and job.cache_key is not None:
+                    self.cache.put(job.cache_key, evaluation)
+        for job in survivors:
+            if job.stage_result is None:  # an intra-wave repeat
+                dedupe_key = combine_fingerprints(
+                    job.descriptor.cache_key(), fidelity.name
+                )
+                primary = first_by_key[dedupe_key]
+                job.stage_result = primary.stage_result
+                job.stage_cached = True
+                job.stage_worker = "cache"
+                self._emit(
+                    CACHE_HIT,
+                    episode=job.episode,
+                    payload={
+                        "key": job.cache_key,
+                        "stage": fidelity.name,
+                        "reward": job.stage_result.reward,
+                    },
+                )
+        return len(unique)
+
+    def _finalize_staged_job(self, job: _EpisodeJob) -> None:
+        """Freeze a staged job's current stage result as the episode outcome."""
+        job.evaluation = job.stage_result
+        job.cache_hit = job.stage_cached
+        job.worker = job.stage_worker
+
     def _observe(self, job: _EpisodeJob, history: SearchHistory) -> None:
         """Feed one episode's reward back and record it (episode order)."""
         assert job.evaluation is not None
         evaluation = job.evaluation
         self.search.policy_trainer.observe(job.sample, evaluation.reward)
+        self._note_reward(job.episode, evaluation.reward)
         history.append(
             EpisodeRecord(
                 episode=job.episode,
@@ -499,6 +884,8 @@ class SearchEngine:
                 elapsed_seconds=job.elapsed_seconds,
                 cache_hit=job.cache_hit,
                 worker=job.worker,
+                fidelity=evaluation.fidelity,
+                stages=list(job.stages),
             )
         )
         self._emit(
@@ -511,6 +898,8 @@ class SearchEngine:
                 "trained": evaluation.trained,
                 "cache_hit": job.cache_hit,
                 "worker": job.worker,
+                "fidelity": evaluation.fidelity,
+                "stages": list(job.stages),
             },
         )
 

@@ -24,6 +24,13 @@ BATCH_FINISHED = "batch-finished"
 EPISODE_FINISHED = "episode-finished"
 CACHE_HIT = "cache-hit"
 CHECKPOINT_WRITTEN = "checkpoint-written"
+# Evaluation-pipeline kinds (staged runs only).
+GATE_REJECTED = "gate-rejected"
+STAGE_FINISHED = "stage-finished"
+WAVE_PROMOTED = "wave-promoted"
+# Engine-level scheduling kinds.
+EARLY_STOPPED = "early-stopped"
+WAVE_RESIZED = "wave-resized"
 
 
 @dataclass(frozen=True)

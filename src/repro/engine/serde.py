@@ -69,6 +69,7 @@ def result_from_dict(payload: Dict[str, Any]) -> EvaluationResult:
         meets_timing=bool(payload["meets_timing"]),
         meets_accuracy=bool(payload["meets_accuracy"]),
         train_seconds=float(payload["train_seconds"]),
+        fidelity=str(payload.get("fidelity", "full")),
     )
 
 
@@ -97,6 +98,8 @@ def record_from_dict(payload: Dict[str, Any]) -> EpisodeRecord:
         elapsed_seconds=float(payload["elapsed_seconds"]),
         cache_hit=bool(payload.get("cache_hit", False)),
         worker=str(payload.get("worker", "")),
+        fidelity=str(payload.get("fidelity", "full")),
+        stages=[str(stage) for stage in payload.get("stages", [])],
     )
 
 

@@ -45,6 +45,18 @@ class TrainingConfig:
             raise ValueError("batch_size must be positive")
         if self.optimizer not in ("adam", "sgd"):
             raise ValueError("optimizer must be 'adam' or 'sgd'")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        if self.max_grad_norm <= 0:
+            raise ValueError("max_grad_norm must be positive")
+        if self.lr_step_size <= 0:
+            raise ValueError("lr_step_size must be positive")
+        if self.lr_gamma <= 0:
+            raise ValueError("lr_gamma must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
 
 
 @dataclass

@@ -120,10 +120,13 @@ class TestSpecSerialization:
 
     def test_schema_covers_every_section(self):
         sections = {leaf.section for leaf in spec_schema()}
-        assert sections == {"dataset", "design", "search", "engine"}
+        assert sections == {"dataset", "design", "search", "evaluation", "engine"}
         paths = [leaf.path for leaf in spec_schema()]
         assert "search.episodes" in paths and "engine.backend" in paths
         assert "engine.cache" not in paths  # live objects never reach the schema
+        assert "evaluation.max_parameters" in paths
+        # Lists of objects have no single-flag CLI form.
+        assert "evaluation.fidelities" not in paths
 
 
 class TestRegistry:
@@ -138,7 +141,7 @@ class TestRegistry:
         def build(spec, train, validation, design):
             from repro.api.strategies import _fahana_config
 
-            return FaHaNaSearch(train, validation, design, _fahana_config(spec.search))
+            return FaHaNaSearch(train, validation, design, _fahana_config(spec))
 
         register_strategy("custom-fahana", build, description="test strategy")
         try:

@@ -311,6 +311,24 @@ class TestTrainer:
         with pytest.raises(ValueError):
             TrainingConfig(batch_size=0)
 
+    def test_invalid_hyperparameter_values(self):
+        with pytest.raises(ValueError, match="learning_rate"):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(ValueError, match="learning_rate"):
+            TrainingConfig(learning_rate=-1e-3)
+        with pytest.raises(ValueError, match="weight_decay"):
+            TrainingConfig(weight_decay=-1e-4)
+        with pytest.raises(ValueError, match="max_grad_norm"):
+            TrainingConfig(max_grad_norm=0.0)
+        with pytest.raises(ValueError, match="lr_step_size"):
+            TrainingConfig(lr_step_size=0)
+        with pytest.raises(ValueError, match="lr_gamma"):
+            TrainingConfig(lr_gamma=-0.5)
+        with pytest.raises(ValueError, match="momentum"):
+            TrainingConfig(momentum=1.0)
+        # Boundary values stay accepted.
+        assert TrainingConfig(weight_decay=0.0, momentum=0.0).weight_decay == 0.0
+
     def test_training_is_deterministic_given_seed(self):
         x, y = self._toy_problem(n=24)
         histories = []
