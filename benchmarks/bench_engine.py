@@ -11,6 +11,10 @@ scale) through ``repro.run`` under different engine configurations:
 * the process backend with and without the shared-evaluator worker
   initializer (``EngineConfig.share_evaluator``), reporting how much
   shipping the evaluator once per worker saves over re-pickling it per task,
+* the process backend with and without per-worker BLAS thread pinning
+  (``EngineConfig.blas_threads_per_worker``): N worker processes x M BLAS
+  threads oversubscribe the cores, so the initializer pins each worker to
+  one BLAS thread by default and the delta is reported here,
 * a staged multi-fidelity run (proxy stage at reduced epochs/data, top half
   of each wave promoted to full training), reporting how many full-fidelity
   trainings the successive-halving schedule saves at the same episode budget.
@@ -92,6 +96,13 @@ def test_bench_engine(benchmark, bench_preset):
             splits,
             EngineConfig(backend="process", num_workers=2, share_evaluator=False),
         )
+        unpinned, unpinned_seconds = _timed_run(
+            spec,
+            splits,
+            EngineConfig(
+                backend="process", num_workers=2, blas_threads_per_worker=None
+            ),
+        )
         staged_spec = repro.RunSpec.from_dict(
             {**spec.to_dict(), "evaluation": MULTI_FIDELITY_EVALUATION}
         )
@@ -102,12 +113,14 @@ def test_bench_engine(benchmark, bench_preset):
             "warm": warm,
             "shared": shared,
             "unshared": unshared,
+            "unpinned": unpinned,
             "staged": staged,
             "serial_seconds": serial_seconds,
             "thread_seconds": thread_seconds,
             "warm_seconds": warm_seconds,
             "shared_seconds": shared_seconds,
             "unshared_seconds": unshared_seconds,
+            "unpinned_seconds": unpinned_seconds,
             "staged_seconds": staged_seconds,
         }
 
@@ -118,6 +131,8 @@ def test_bench_engine(benchmark, bench_preset):
     assert outcome["threaded"].history.reward_trajectory() == reference
     assert outcome["shared"].history.reward_trajectory() == reference
     assert outcome["unshared"].history.reward_trajectory() == reference
+    # BLAS pinning changes scheduling, never results.
+    assert outcome["unpinned"].history.reward_trajectory() == reference
     # A warm cache replays the search without a single training run.
     assert outcome["warm"].evaluations_run == 0
     assert all(record.cache_hit for record in outcome["warm"].history.records)
@@ -136,8 +151,11 @@ def test_bench_engine(benchmark, bench_preset):
             "warm_cache": outcome["warm_seconds"],
             "process_shared": outcome["shared_seconds"],
             "process_unshared": outcome["unshared_seconds"],
+            "process_blas_unpinned": outcome["unpinned_seconds"],
             "multi_fidelity": outcome["staged_seconds"],
         },
+        "blas_pinning_savings_seconds": outcome["unpinned_seconds"]
+        - outcome["shared_seconds"],
         "thread_speedup": outcome["serial_seconds"]
         / max(outcome["thread_seconds"], 1e-9),
         "warm_cache_hit_rate": outcome["warm"].cache_hit_rate,
@@ -161,7 +179,11 @@ def test_bench_engine(benchmark, bench_preset):
         f"process backend: shared evaluator {outcome['shared_seconds']:.2f}s vs "
         f"per-task pickling {outcome['unshared_seconds']:.2f}s "
         f"(initializer saves "
-        f"{outcome['unshared_seconds'] - outcome['shared_seconds']:+.2f}s)"
+        f"{outcome['unshared_seconds'] - outcome['shared_seconds']:+.2f}s); "
+        f"BLAS pinned (1 thread/worker) {outcome['shared_seconds']:.2f}s vs "
+        f"unpinned {outcome['unpinned_seconds']:.2f}s "
+        f"(pinning saves "
+        f"{outcome['unpinned_seconds'] - outcome['shared_seconds']:+.2f}s)"
     )
     print(
         f"multi-fidelity: {staged_full} full trainings vs {serial_full} "

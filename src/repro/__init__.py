@@ -33,6 +33,7 @@ _API_EXPORTS = (
     "run",
     "RunSpec",
     "RunReport",
+    "ComputeSpec",
     "DatasetSpec",
     "DesignSpecConfig",
     "SearchParams",

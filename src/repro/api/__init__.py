@@ -16,6 +16,7 @@ Everything here is re-exported at the package root: ``repro.run``,
 
 from repro.core.pipeline import FidelityConfig, PipelineSettings
 from repro.api.spec import (
+    ComputeSpec,
     DatasetSpec,
     DesignSpecConfig,
     RunSpec,
@@ -37,6 +38,7 @@ from repro.api import strategies as _builtin_strategies  # noqa: F401  (register
 from repro.api.strategies import RandomSearch
 
 __all__ = [
+    "ComputeSpec",
     "DatasetSpec",
     "DesignSpecConfig",
     "FidelityConfig",

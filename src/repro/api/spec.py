@@ -25,14 +25,20 @@ Sections:
   directly: optional parameter/storage gates and the multi-fidelity ladder
   (proxy stages with successive-halving promotion).  Unset (None) means the
   single full-fidelity stage that reproduces the seed evaluator bit for bit,
+* ``compute``   -- :class:`ComputeSpec`: numeric precision of the child
+  training hot path (``float32`` for ~2x throughput, ``float64`` -- the
+  default -- for bit-for-bit seed parity) and the inference batch size,
 * ``engine``    -- :class:`~repro.engine.engine.EngineConfig`, reused
   directly (the ``cache`` field, a live object, is not serializable; use
   ``cache_dir`` in specs).
 
-``evaluation`` and ``engine`` are the two optional sections: absent sections
-stay None so "not specified" round-trips as unset.  Unlike the engine
-section, the evaluation section *changes what a run computes*, so it is part
-of :meth:`RunSpec.cache_key` whenever present.
+``evaluation``, ``compute`` and ``engine`` are the optional sections: absent
+sections stay None so "not specified" round-trips as unset.  Unlike the
+engine section, the evaluation section *changes what a run computes*, so it
+is part of :meth:`RunSpec.cache_key` whenever present; the compute section
+participates only when non-default (float64 rewards match the default stack
+to the last bit, and re-keying every existing spec for a spelled-out default
+would orphan every existing cache entry).
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from repro.core.pipeline import FidelityConfig, PipelineSettings
 from repro.data.dataset import DatasetSplits, stratified_split
 from repro.data.dermatology import DermatologyConfig, DermatologyGenerator
 from repro.engine.engine import EngineConfig
+from repro.nn.dtype import DTYPE_NAMES
 from repro.hardware.constraints import DesignSpec, HardwareSpec, SoftwareSpec
 from repro.hardware.device import get_device, list_devices
 from repro.utils.fingerprint import content_fingerprint
@@ -174,6 +181,44 @@ class SearchParams:
             raise ValueError("plateau_delta must be non-negative")
 
 
+@dataclass(frozen=True)
+class ComputeSpec:
+    """Numeric-precision policy of the run's child-training hot path.
+
+    ``precision="float32"`` roughly doubles pure-numpy training throughput
+    (see ``benchmarks/bench_nn.py``); ``"float64"`` -- the default -- keeps
+    the seed's bit-for-bit arithmetic.  Only the child evaluation changes
+    precision: controller sampling and the policy gradient stay float64, so
+    the sequence of sampled architectures is precision-independent and only
+    rewards drift (within tolerance -- see the parity tests).
+
+    The section is optional and participates in :meth:`RunSpec.cache_key`
+    only when it differs from the defaults, so every existing spec (and every
+    existing cache entry) keeps its historical fingerprint.
+    """
+
+    precision: str = "float64"
+    # Prediction batch size during child evaluation; None keeps the
+    # historical defaults (64 for fairness scoring, the training batch size
+    # for direct Trainer.predict calls).  Inference keeps no backward
+    # caches, so larger batches cut per-batch Python overhead without extra
+    # peak memory.
+    inference_batch_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.precision not in DTYPE_NAMES:
+            raise ValueError(
+                f"precision must be one of {DTYPE_NAMES}, got {self.precision!r}"
+            )
+        if self.inference_batch_size is not None and self.inference_batch_size <= 0:
+            raise ValueError("inference_batch_size must be positive when given")
+
+    @property
+    def is_default(self) -> bool:
+        """True when this section spells out the implicit defaults."""
+        return self == ComputeSpec()
+
+
 _SECTIONS: Tuple[Tuple[str, type], ...] = ()  # filled in after RunSpec below
 
 
@@ -195,6 +240,7 @@ class RunSpec:
     design: DesignSpecConfig = field(default_factory=DesignSpecConfig)
     search: SearchParams = field(default_factory=SearchParams)
     evaluation: Optional[PipelineSettings] = None
+    compute: Optional[ComputeSpec] = None
     engine: Optional[EngineConfig] = None
 
     # -- validation ---------------------------------------------------------------
@@ -221,6 +267,8 @@ class RunSpec:
         }
         if self.evaluation is not None:
             payload["evaluation"] = _section_to_dict(self.evaluation)
+        if self.compute is not None:
+            payload["compute"] = _section_to_dict(self.compute)
         if self.engine is not None:
             if self.engine.cache is not None:
                 raise ValueError(
@@ -295,9 +343,14 @@ class RunSpec:
         The engine section is excluded: backend, worker count, caching and
         checkpointing change how a run executes, never what it computes, so
         two specs that differ only in execution knobs share a fingerprint.
+        A compute section that merely spells out the defaults (float64) is
+        likewise dropped, so adding the section introduced no key churn:
+        only a genuinely non-default precision re-keys a spec.
         """
         payload = self.to_dict()
         payload.pop("engine", None)
+        if self.compute is not None and self.compute.is_default:
+            payload.pop("compute", None)
         return content_fingerprint(payload)
 
     # -- ergonomics -----------------------------------------------------------------
@@ -340,11 +393,12 @@ _SECTIONS = (
     ("design", DesignSpecConfig),
     ("search", SearchParams),
     ("evaluation", PipelineSettings),
+    ("compute", ComputeSpec),
     ("engine", EngineConfig),
 )
 
 # Sections whose absence means "unset" (None) rather than "all defaults".
-_OPTIONAL_SECTIONS = ("evaluation", "engine")
+_OPTIONAL_SECTIONS = ("evaluation", "compute", "engine")
 
 # Non-scalar spec fields: serialized as a JSON list of objects, parsed with
 # the element class below, and excluded from the generated CLI flags.

@@ -27,9 +27,25 @@ from repro.nn.trainer import TrainingConfig
 from repro.utils.rng import SeedLike, new_rng
 
 
+def _child_precision(spec: RunSpec):
+    """The (precision, inference_batch_size) pair for child training.
+
+    A default-valued compute section maps back to ``(None, None)``: explicit
+    float64 *is* the seed behaviour, and keeping the ``TrainingConfig``
+    identical to a compute-less spec keeps the engine's evaluation-context
+    fingerprint (and therefore every existing cache entry) unchanged.
+    """
+    compute = spec.compute
+    if compute is None:
+        return None, None
+    precision = None if compute.precision == "float64" else compute.precision
+    return precision, compute.inference_batch_size
+
+
 def _fahana_config(spec: RunSpec) -> FaHaNaConfig:
     """The spec-driven equivalent of the legacy ``_fahana_config`` defaults."""
     params = spec.search
+    precision, inference_batch = _child_precision(spec)
     kwargs = {}
     if spec.evaluation is not None:
         kwargs["pipeline"] = spec.evaluation
@@ -51,6 +67,8 @@ def _fahana_config(spec: RunSpec) -> FaHaNaConfig:
             epochs=params.child_epochs,
             batch_size=params.child_batch_size,
             seed=params.seed,
+            precision=precision,
+            inference_batch_size=inference_batch,
         ),
         plateau_patience=params.plateau_patience,
         plateau_delta=params.plateau_delta,
@@ -86,6 +104,7 @@ def build_monas(
     design_spec: DesignSpec,
 ) -> MonasSearch:
     params = spec.search
+    precision, inference_batch = _child_precision(spec)
     # Mirrors the legacy run_monas_search construction: gamma, pretraining and
     # the searchable cap do not apply (MONAS searches every position and
     # trains every child from scratch).
@@ -108,6 +127,8 @@ def build_monas(
             epochs=params.child_epochs,
             batch_size=params.child_batch_size,
             seed=params.seed,
+            precision=precision,
+            inference_batch_size=inference_batch,
         ),
         plateau_patience=params.plateau_patience,
         plateau_delta=params.plateau_delta,

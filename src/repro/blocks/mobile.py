@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.blocks.spec import BlockSpec
 from repro.nn.layers import BatchNorm2d, Conv2d, DepthwiseConv2d, ReLU6, SqueezeExcite
-from repro.nn.module import Module, Sequential
+from repro.nn.module import Module, Sequential, is_inference
 from repro.utils.rng import SeedLike, spawn_rngs
 
 
@@ -52,8 +52,11 @@ class MobileInvertedBlock(Module):
         out = self.depthwise.forward(out)
         out = self.project.forward(out)
         if self.use_residual:
-            self._cache_residual = x
-            out = out + x
+            if not is_inference():
+                self._cache_residual = x
+            # ``out`` is freshly allocated by the projection stage, so the
+            # residual can be added in place (x itself is never mutated).
+            out += x
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -61,7 +64,8 @@ class MobileInvertedBlock(Module):
         grad = self.depthwise.backward(grad)
         grad = self.expand.backward(grad)
         if self.use_residual:
-            grad = grad + grad_output
+            # ``grad`` is the expand conv's freshly allocated input gradient.
+            grad += grad_output
             self._cache_residual = None
         return grad
 

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
 from repro.utils.rng import SeedLike, new_rng
 
 GROUP_LIGHT = "light"
@@ -27,7 +28,14 @@ class GroupedDataset:
     group_names: Tuple[str, ...] = (GROUP_LIGHT, GROUP_DARK)
 
     def __post_init__(self) -> None:
-        self.images = np.asarray(self.images, dtype=np.float64)
+        # Float images keep their precision (so float32 datasets survive
+        # subset()/concatenate() without silent upcasts); anything else is
+        # cast to the global dtype policy (float64 unless a run opted into
+        # float32 -- see repro.nn.dtype).
+        images = np.asarray(self.images)
+        if images.dtype not in (np.float32, np.float64):
+            images = images.astype(get_default_dtype())
+        self.images = images
         self.labels = np.asarray(self.labels, dtype=np.int64)
         self.groups = np.asarray(self.groups, dtype=np.int64)
         if self.images.ndim != 4:

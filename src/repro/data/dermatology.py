@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.data.dataset import GROUP_DARK, GROUP_LIGHT, GroupedDataset
+from repro.nn.dtype import get_default_dtype
 from repro.utils.rng import SeedLike, new_rng
 
 DISEASE_CLASSES: Tuple[str, ...] = (
@@ -107,8 +108,11 @@ class DermatologyGenerator:
                 images.append(self._render(class_id, GROUP_DARK, generator))
                 labels.append(class_id)
                 groups.append(1)
+        # Rendering always happens in float64 (identical RNG draws across
+        # precisions); the single cast here makes a float32-policy dataset
+        # the rounded image of the exact float64 one.
         dataset = GroupedDataset(
-            images=np.stack(images),
+            images=np.stack(images).astype(get_default_dtype(), copy=False),
             labels=np.array(labels),
             groups=np.array(groups),
         )
@@ -132,7 +136,7 @@ class DermatologyGenerator:
                 labels.append(class_id)
         group_id = 0 if group == GROUP_LIGHT else 1
         return GroupedDataset(
-            images=np.stack(images),
+            images=np.stack(images).astype(get_default_dtype(), copy=False),
             labels=np.array(labels),
             groups=np.full(len(labels), group_id),
         )

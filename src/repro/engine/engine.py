@@ -98,6 +98,12 @@ class EngineConfig:
     # Process backend only: ship the evaluator to each worker process once at
     # pool startup (executor initializer) instead of re-pickling it per task.
     share_evaluator: bool = True
+    # Process backend only: BLAS/OpenMP threads *per worker process* (the
+    # pool initializer pins OMP_NUM_THREADS/OPENBLAS_NUM_THREADS and the
+    # OpenBLAS runtime).  N workers x M BLAS threads quickly oversubscribes
+    # the cores; 1 is the right setting whenever num_workers is sized to the
+    # machine.  None leaves the workers' BLAS threading untouched.
+    blas_threads_per_worker: Optional[int] = 1
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -112,6 +118,8 @@ class EngineConfig:
             raise ValueError("cache_capacity must be positive")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be non-negative")
+        if self.blas_threads_per_worker is not None and self.blas_threads_per_worker <= 0:
+            raise ValueError("blas_threads_per_worker must be positive when given")
 
 
 # -- module-level default (installed by harnesses, e.g. the benchmark suite) -------
@@ -278,9 +286,21 @@ class SearchEngine:
                 for name, value in sorted(backbone_model.state_dict().items())
             }
         )
+        # Default-valued precision knobs are dropped from the payload so the
+        # fingerprints of every pre-existing run (and on-disk cache entry)
+        # survive the knobs' introduction; a non-default precision genuinely
+        # changes trained results and re-keys the context.  (The float64
+        # kernel rewrite itself keeps fingerprints: rewards derive from
+        # discrete prediction counts, which the rewrite preserves -- the
+        # conv contractions' last-ulp loss drift at large shapes is bounded
+        # and tracked by benchmarks/bench_nn.py.)
+        training_context = asdict(pipeline.training)
+        for knob in ("precision", "inference_batch_size"):
+            if training_context.get(knob) is None:
+                training_context.pop(knob, None)
         return content_fingerprint(
             {
-                "training": asdict(pipeline.training),
+                "training": training_context,
                 "reward": asdict(pipeline.reward),
                 "bypass_invalid": pipeline.bypass_invalid,
                 "device": evaluator.latency_estimator.device.name,
@@ -511,7 +531,12 @@ class SearchEngine:
             if self.config.backend == "process" and self.config.share_evaluator
             else None
         )
-        pool = create_pool(self.config.backend, self.config.num_workers, shared=shared)
+        pool = create_pool(
+            self.config.backend,
+            self.config.num_workers,
+            shared=shared,
+            blas_threads=self.config.blas_threads_per_worker,
+        )
         try:
             while self._next_episode < num_episodes:
                 if self._plateaued():

@@ -33,14 +33,71 @@ WorkerResult = Tuple[Any, str]
 
 BACKENDS = ("serial", "thread", "process")
 
+# Environment variables read by the common BLAS/OpenMP runtimes.
+_BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
 # Set once per worker process by the pool initializer (never in the parent).
 _PROCESS_SHARED: Any = None
 
 
-def _init_process_worker(shared: Any) -> None:
-    """Executor initializer: unpickle the shared payload once per worker."""
+def limit_blas_threads(num_threads: Optional[int]) -> None:
+    """Pin the BLAS/OpenMP thread count of *this* process.
+
+    Sets the conventional environment variables (effective for runtimes whose
+    libraries have not been loaded yet -- e.g. ``spawn``-started workers) and
+    additionally calls ``openblas_set_num_threads`` on any OpenBLAS shared
+    library numpy already loaded, which is what makes the limit stick under
+    the default ``fork`` start method where the parent's numpy (and its BLAS
+    thread pool configuration) is inherited.  ``None`` is a no-op.
+    """
+    if num_threads is None:
+        return
+    if num_threads <= 0:
+        raise ValueError("num_threads must be positive")
+    for name in _BLAS_ENV_VARS:
+        os.environ[name] = str(num_threads)
+    try:  # pragma: no cover - depends on the numpy build
+        import ctypes
+        import glob
+
+        import numpy
+
+        lib_dirs = [
+            os.path.join(os.path.dirname(numpy.__file__), "..", "numpy.libs"),
+            os.path.join(os.path.dirname(numpy.__file__), ".libs"),
+        ]
+        candidates = [
+            path
+            for lib_dir in lib_dirs
+            for path in glob.glob(os.path.join(lib_dir, "*openblas*"))
+        ]
+        for path in candidates:
+            try:
+                lib = ctypes.CDLL(path)
+            except OSError:
+                continue
+            for symbol in ("openblas_set_num_threads64_", "openblas_set_num_threads"):
+                setter = getattr(lib, symbol, None)
+                if setter is not None:
+                    setter(int(num_threads))
+                    break
+    except Exception:
+        # Best effort: an exotic BLAS build falls back to the env vars alone.
+        pass
+
+
+def _init_process_worker(shared: Any, blas_threads: Optional[int] = None) -> None:
+    """Executor initializer: unpickle the shared payload once per worker and
+    pin the worker's BLAS thread count before the first task runs."""
     global _PROCESS_SHARED
     _PROCESS_SHARED = shared
+    limit_blas_threads(blas_threads)
 
 
 def process_shared() -> Any:
@@ -118,19 +175,27 @@ class ProcessPool(WorkerPool):
 
     name = "process"
 
-    def __init__(self, num_workers: int = 2, shared: Any = None):
+    def __init__(
+        self,
+        num_workers: int = 2,
+        shared: Any = None,
+        blas_threads: Optional[int] = 1,
+    ):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
+        if blas_threads is not None and blas_threads <= 0:
+            raise ValueError("blas_threads must be positive when given")
         self.num_workers = num_workers
+        self.blas_threads = blas_threads
         self.uses_shared = shared is not None
-        if self.uses_shared:
-            self._executor = ProcessPoolExecutor(
-                max_workers=num_workers,
-                initializer=_init_process_worker,
-                initargs=(shared,),
-            )
-        else:
-            self._executor = ProcessPoolExecutor(max_workers=num_workers)
+        # The initializer always runs: even without a shared payload it pins
+        # the worker's BLAS threads so N processes x M BLAS threads do not
+        # oversubscribe the cores (bench_engine.py reports the effect).
+        self._executor = ProcessPoolExecutor(
+            max_workers=num_workers,
+            initializer=_init_process_worker,
+            initargs=(shared if self.uses_shared else None, blas_threads),
+        )
 
     def map_ordered(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
@@ -153,18 +218,24 @@ def _process_tagged(fn: Callable[[Any], Any], payload: Any) -> WorkerResult:
 
 
 def create_pool(
-    backend: str, num_workers: int = 2, shared: Optional[Any] = None
+    backend: str,
+    num_workers: int = 2,
+    shared: Optional[Any] = None,
+    blas_threads: Optional[int] = 1,
 ) -> WorkerPool:
     """Instantiate a worker pool by backend name.
 
     ``shared`` is delivered once per worker on the ``process`` backend (see
     :class:`ProcessPool`); the in-process backends ignore it -- their tasks
-    already share the caller's objects by reference.
+    already share the caller's objects by reference.  ``blas_threads`` pins
+    each process worker's BLAS/OpenMP thread count (None leaves it alone);
+    the in-process backends ignore it too, since limiting the parent's BLAS
+    would also change the caller's own kernels.
     """
     if backend == "serial":
         return SerialPool()
     if backend == "thread":
         return ThreadPool(num_workers)
     if backend == "process":
-        return ProcessPool(num_workers, shared=shared)
+        return ProcessPool(num_workers, shared=shared, blas_threads=blas_threads)
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -70,9 +70,15 @@ def evaluate_fairness(
     model: Module,
     dataset: GroupedDataset,
     trainer: Optional[Trainer] = None,
-    batch_size: int = 64,
+    batch_size: Optional[int] = None,
 ) -> FairnessReport:
-    """Run ``model`` on ``dataset`` and compute accuracy / unfairness."""
+    """Run ``model`` on ``dataset`` and compute accuracy / unfairness.
+
+    ``batch_size=None`` defers to the trainer's configured
+    ``inference_batch_size`` and falls back to the historical 64.
+    """
     trainer = trainer or Trainer()
+    if batch_size is None:
+        batch_size = trainer.config.inference_batch_size or 64
     predictions = trainer.predict(model, dataset.images, batch_size)
     return fairness_report_from_predictions(predictions, dataset)

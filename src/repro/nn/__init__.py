@@ -14,8 +14,14 @@ gradients.  Composite blocks with residual connections implement their own
 ``forward``/``backward`` pair on top of their sub-layers.
 """
 
+from repro.nn.dtype import (
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
 from repro.nn.tensor import Parameter
-from repro.nn.module import Module, Sequential
+from repro.nn.module import Module, Sequential, inference_mode, is_inference
 from repro.nn.layers import (
     Conv2d,
     DepthwiseConv2d,
@@ -39,6 +45,12 @@ from repro.nn.metrics import accuracy, confusion_matrix
 from repro.nn.trainer import Trainer, TrainingConfig, TrainingHistory
 
 __all__ = [
+    "default_dtype",
+    "get_default_dtype",
+    "resolve_dtype",
+    "set_default_dtype",
+    "inference_mode",
+    "is_inference",
     "Parameter",
     "Module",
     "Sequential",

@@ -1,9 +1,17 @@
-"""Weight initialisation schemes."""
+"""Weight initialisation schemes.
+
+Every initialiser returns arrays in the dtype of the global precision policy
+(:mod:`repro.nn.dtype`): the random draws themselves are always made in
+float64 -- so a float32 model is the rounded image of the exact float64
+initialisation, and RNG streams stay identical across precisions -- and then
+cast once.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
 from repro.utils.rng import SeedLike, new_rng
 
 
@@ -12,7 +20,8 @@ def he_normal(shape: tuple, fan_in: int, rng: SeedLike = None) -> np.ndarray:
     if fan_in <= 0:
         raise ValueError(f"fan_in must be positive, got {fan_in}")
     std = np.sqrt(2.0 / fan_in)
-    return new_rng(rng).normal(0.0, std, size=shape)
+    values = new_rng(rng).normal(0.0, std, size=shape)
+    return values.astype(get_default_dtype(), copy=False)
 
 
 def xavier_uniform(shape: tuple, fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
@@ -20,14 +29,15 @@ def xavier_uniform(shape: tuple, fan_in: int, fan_out: int, rng: SeedLike = None
     if fan_in <= 0 or fan_out <= 0:
         raise ValueError("fan_in and fan_out must be positive")
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return new_rng(rng).uniform(-limit, limit, size=shape)
+    values = new_rng(rng).uniform(-limit, limit, size=shape)
+    return values.astype(get_default_dtype(), copy=False)
 
 
 def zeros(shape: tuple) -> np.ndarray:
     """All-zeros initialisation (biases, batch-norm shift)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: tuple) -> np.ndarray:
     """All-ones initialisation (batch-norm scale)."""
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=get_default_dtype())

@@ -6,7 +6,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.module import Module
+from repro.nn.module import Module, is_inference
 
 
 class ReLU(Module):
@@ -17,8 +17,10 @@ class ReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return x * self._mask
+        mask = x > 0
+        if not is_inference():
+            self._mask = mask
+        return x * mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
@@ -36,7 +38,8 @@ class ReLU6(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = (x > 0) & (x < 6.0)
+        if not is_inference():
+            self._mask = (x > 0) & (x < 6.0)
         return np.clip(x, 0.0, 6.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -56,7 +59,8 @@ class HardSigmoid(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         shifted = x + 3.0
-        self._mask = (shifted > 0) & (shifted < 6.0)
+        if not is_inference():
+            self._mask = (shifted > 0) & (shifted < 6.0)
         return np.clip(shifted, 0.0, 6.0) / 6.0
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -75,7 +79,8 @@ class HardSwish(Module):
         self._input: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._input = x
+        if not is_inference():
+            self._input = x
         return x * np.clip(x + 3.0, 0.0, 6.0) / 6.0
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -7,7 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.nn import init
-from repro.nn.module import Module
+from repro.nn.module import Module, is_inference
 from repro.nn.tensor import Parameter
 from repro.utils.rng import SeedLike
 
@@ -41,7 +41,8 @@ class Linear(Module):
             raise ValueError(
                 f"expected input of shape (N, {self.in_features}), got {x.shape}"
             )
-        self._cache_input = x
+        if not is_inference():
+            self._cache_input = x
         out = x @ self.weight.data.T
         if self.use_bias:
             out = out + self.bias.data[None, :]

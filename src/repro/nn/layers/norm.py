@@ -25,8 +25,10 @@ class BatchNorm2d(Module):
         self.momentum = momentum
         self.gamma = Parameter(init.ones((num_features,)), name="gamma")
         self.beta = Parameter(init.zeros((num_features,)), name="beta")
-        self.running_mean = np.zeros(num_features, dtype=np.float64)
-        self.running_var = np.ones(num_features, dtype=np.float64)
+        # Registered buffers: follow Module.astype precision casts and the
+        # global dtype policy, like the parameters.
+        self.register_buffer("running_mean", init.zeros((num_features,)))
+        self.register_buffer("running_var", init.ones((num_features,)))
 
         self._cache_normalised: Optional[np.ndarray] = None
         self._cache_std: Optional[np.ndarray] = None
@@ -36,9 +38,14 @@ class BatchNorm2d(Module):
             raise ValueError(
                 f"expected input of shape (N, {self.num_features}, H, W), got {x.shape}"
             )
+        centred = None
         if self.training:
             mean = x.mean(axis=(0, 2, 3))
-            var = x.var(axis=(0, 2, 3))
+            # Reusing the centred tensor for the variance is bit-identical
+            # to np.var (same mean, same subtraction, same pairwise
+            # reduction) and saves np.var's two internal passes over x.
+            centred = x - mean[None, :, None, None]
+            var = (centred * centred).mean(axis=(0, 2, 3))
             self.running_mean = (
                 (1 - self.momentum) * self.running_mean + self.momentum * mean
             )
@@ -50,11 +57,13 @@ class BatchNorm2d(Module):
             var = self.running_var
 
         std = np.sqrt(var + self.eps)
-        normalised = (x - mean[None, :, None, None]) / std[None, :, None, None]
-        out = (
-            self.gamma.data[None, :, None, None] * normalised
-            + self.beta.data[None, :, None, None]
-        )
+        # In-place follow-ups keep the seed's exact arithmetic --
+        # (x - mean) / std, then gamma * normalised + beta -- while halving
+        # the number of full-size temporaries.
+        normalised = centred if centred is not None else x - mean[None, :, None, None]
+        normalised /= std[None, :, None, None]
+        out = self.gamma.data[None, :, None, None] * normalised
+        out += self.beta.data[None, :, None, None]
         if self.training:
             self._cache_normalised = normalised
             self._cache_std = std
@@ -74,9 +83,15 @@ class BatchNorm2d(Module):
         grad_norm = grad_output * self.gamma.data[None, :, None, None]
         sum_grad = grad_norm.sum(axis=(0, 2, 3), keepdims=True)
         sum_grad_norm = (grad_norm * normalised).sum(axis=(0, 2, 3), keepdims=True)
-        grad_input = (
-            grad_norm - sum_grad / count - normalised * sum_grad_norm / count
-        ) / std[None, :, None, None]
+        # Same expression as the seed -- grad_norm - sum_grad/count
+        # - (normalised * sum_grad_norm)/count, all divided by std -- with
+        # grad_norm's buffer reused as the output.
+        grad_input = grad_norm
+        grad_input -= sum_grad / count
+        correction = normalised * sum_grad_norm
+        correction /= count
+        grad_input -= correction
+        grad_input /= std[None, :, None, None]
 
         self._cache_normalised = None
         self._cache_std = None

@@ -7,7 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.nn.functional import col2im, im2col
-from repro.nn.module import Module
+from repro.nn.module import Module, is_inference
 
 
 class GlobalAvgPool2d(Module):
@@ -55,26 +55,46 @@ class MaxPool2d(Module):
         flat = cols.reshape(n, c, k * k, out_h, out_w)
         argmax = flat.argmax(axis=2)
         out = np.take_along_axis(flat, argmax[:, :, None, :, :], axis=2).squeeze(axis=2)
-        self._cache_argmax = argmax
-        self._cache_input_shape = x.shape
+        if not is_inference():
+            self._cache_argmax = argmax
+            self._cache_input_shape = x.shape
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache_argmax is None or self._cache_input_shape is None:
             raise RuntimeError("backward called before forward")
-        k = self.kernel_size
+        k, stride, padding = self.kernel_size, self.stride, self.padding
         n, c, out_h, out_w = grad_output.shape
-        flat = np.zeros((n, c, k * k, out_h, out_w), dtype=grad_output.dtype)
-        np.put_along_axis(
-            flat, self._cache_argmax[:, :, None, :, :], grad_output[:, :, None, :, :], axis=2
+        _, _, h, w = self._cache_input_shape
+        padded_h, padded_w = h + 2 * padding, w + 2 * padding
+        # Scatter each window's gradient straight onto its argmax cell in the
+        # (padded) input instead of materialising the dense
+        # (n, c, k*k, out_h, out_w) zeros buffer the seed routed through
+        # col2im.  The cached argmax encodes the in-window offset; adding the
+        # window origin gives absolute padded coordinates, and bincount over
+        # the flattened linear indices performs the (deterministic)
+        # scatter-add.
+        argmax = self._cache_argmax
+        rows = argmax // k + (stride * np.arange(out_h))[None, None, :, None]
+        cols_ = argmax % k + (stride * np.arange(out_w))[None, None, None, :]
+        plane = (
+            (np.arange(n)[:, None, None, None] * c + np.arange(c)[None, :, None, None])
+            * padded_h
         )
-        cols = flat.reshape(n, c, k, k, out_h, out_w)
-        grad_input = col2im(
-            cols, self._cache_input_shape, k, k, self.stride, self.padding
-        )
+        flat_index = (plane + rows) * padded_w + cols_
+        # bincount accumulates in float64; cast back for float32 inputs.
+        padded = np.bincount(
+            flat_index.ravel(),
+            weights=grad_output.ravel(),
+            minlength=n * c * padded_h * padded_w,
+        ).reshape(n, c, padded_h, padded_w)
+        if padded.dtype != grad_output.dtype:
+            padded = padded.astype(grad_output.dtype)
+        if padding > 0:
+            padded = padded[:, :, padding:-padding, padding:-padding]
         self._cache_argmax = None
         self._cache_input_shape = None
-        return grad_input
+        return np.ascontiguousarray(padded)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MaxPool2d(k={self.kernel_size}, s={self.stride})"

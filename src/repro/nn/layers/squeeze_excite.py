@@ -7,7 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.nn import init
-from repro.nn.module import Module
+from repro.nn.module import Module, is_inference
 from repro.nn.tensor import Parameter
 from repro.utils.rng import SeedLike, spawn_rngs
 
@@ -45,6 +45,8 @@ class SqueezeExcite(Module):
         pre2 = hidden @ self.w2.data.T + self.b2.data
         scale = np.clip(pre2 + 3.0, 0.0, 6.0) / 6.0
         out = x * scale[:, :, None, None]
+        if is_inference():
+            return out
         self._cache = {
             "x": x,
             "pooled": pooled,

@@ -40,16 +40,18 @@ class CrossEntropyLoss:
             raise ValueError(
                 f"labels must have shape ({n},), got {labels.shape}"
             )
-        targets = one_hot(labels, num_classes)
+        # Targets and weights follow the logits' dtype so float32 training
+        # does not silently upcast the whole loss/backward path to float64.
+        targets = one_hot(labels, num_classes, dtype=logits.dtype)
         if self.label_smoothing > 0.0:
             targets = (
                 targets * (1.0 - self.label_smoothing)
                 + self.label_smoothing / num_classes
             )
         if sample_weights is None:
-            weights = np.ones(n, dtype=np.float64)
+            weights = np.ones(n, dtype=logits.dtype)
         else:
-            weights = np.asarray(sample_weights, dtype=np.float64)
+            weights = np.asarray(sample_weights, dtype=logits.dtype)
             if weights.shape != (n,):
                 raise ValueError(
                     f"sample_weights must have shape ({n},), got {weights.shape}"

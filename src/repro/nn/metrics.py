@@ -5,17 +5,28 @@ from __future__ import annotations
 import numpy as np
 
 
+def _as_class_indices(predictions: np.ndarray) -> np.ndarray:
+    """Reduce logits to class indices; cast only when not already int64.
+
+    ``np.asarray(..., dtype=...)`` is a no-op view for arrays that already
+    have the target dtype, so integer predictions/labels pass through without
+    the redundant copies the seed's unconditional ``astype`` made on every
+    evaluation batch.
+    """
+    predictions = np.asarray(predictions)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    return np.asarray(predictions, dtype=np.int64)
+
+
 def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
     """Fraction of correct predictions.
 
     ``predictions`` may be class indices (1-D) or logits/probabilities (2-D),
     in which case the argmax is taken.
     """
-    predictions = np.asarray(predictions)
+    predictions = _as_class_indices(predictions)
     labels = np.asarray(labels, dtype=np.int64)
-    if predictions.ndim == 2:
-        predictions = predictions.argmax(axis=1)
-    predictions = predictions.astype(np.int64)
     if predictions.shape != labels.shape:
         raise ValueError(
             f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
@@ -32,16 +43,19 @@ def confusion_matrix(
 
     Rows are true classes; columns are predicted classes.
     """
-    predictions = np.asarray(predictions)
-    if predictions.ndim == 2:
-        predictions = predictions.argmax(axis=1)
-    predictions = predictions.astype(np.int64)
+    predictions = _as_class_indices(predictions)
     labels = np.asarray(labels, dtype=np.int64)
     if predictions.shape != labels.shape:
         raise ValueError("predictions and labels must have the same length")
-    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
-    for true, pred in zip(labels, predictions):
-        if not (0 <= true < num_classes and 0 <= pred < num_classes):
-            raise ValueError("class index out of range for confusion matrix")
-        matrix[true, pred] += 1
-    return matrix
+    if predictions.size and (
+        predictions.min() < 0
+        or predictions.max() >= num_classes
+        or labels.min() < 0
+        or labels.max() >= num_classes
+    ):
+        raise ValueError("class index out of range for confusion matrix")
+    # One vectorised scatter instead of the seed's per-sample Python loop.
+    flat = np.bincount(
+        labels * num_classes + predictions, minlength=num_classes * num_classes
+    )
+    return flat.reshape(num_classes, num_classes).astype(np.int64, copy=False)

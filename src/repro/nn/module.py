@@ -2,12 +2,45 @@
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import DtypeLike, resolve_dtype
 from repro.nn.tensor import Parameter
+
+# -- inference mode -----------------------------------------------------------------
+# Inside ``inference_mode()`` the layers skip storing their backward caches
+# (im2col workspaces, activation masks, argmax indices, ...), which makes
+# prediction allocation-free beyond the activations themselves.  The flag is
+# thread-local because the engine's thread backend trains children
+# concurrently: one thread predicting must not disable another thread's
+# backward caches.
+_INFERENCE_STATE = threading.local()
+
+
+def is_inference() -> bool:
+    """True inside an :func:`inference_mode` block (current thread only)."""
+    return getattr(_INFERENCE_STATE, "active", False)
+
+
+@contextmanager
+def inference_mode() -> Iterator[None]:
+    """Forward passes inside this context keep no backward caches.
+
+    A ``backward`` call after an inference-mode forward raises the usual
+    "backward called before forward" error, exactly as if forward had never
+    run -- which is the point: prediction leaves no training state behind.
+    """
+    previous = is_inference()
+    _INFERENCE_STATE.active = True
+    try:
+        yield
+    finally:
+        _INFERENCE_STATE.active = previous
 
 
 class Module:
@@ -23,6 +56,7 @@ class Module:
     def __init__(self) -> None:
         self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self.training = True
 
     # -- attribute registration -------------------------------------------------
@@ -31,12 +65,30 @@ class Module:
             self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
         elif isinstance(value, Module):
             self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        elif name in self.__dict__.get("_buffers", ()):
+            # Re-assigning a registered buffer (batch-norm running stats)
+            # keeps the registry in sync with the attribute.
+            self.__dict__["_buffers"][name] = value
         object.__setattr__(self, name, value)
 
     def register_module(self, name: str, module: "Module") -> None:
         """Register a sub-module under an explicit name (used by containers)."""
         self._modules[name] = module
         object.__setattr__(self, name, module)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state that belongs to the module (running
+        statistics etc.); buffers follow :meth:`astype` casts alongside the
+        parameters and stay ordinary attributes for reading and assignment."""
+        self.__dict__.setdefault("_buffers", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(qualified_name, buffer)`` pairs, depth first."""
+        for name, value in self._buffers.items():
+            yield (f"{prefix}{name}", value)
+        for mod_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{mod_name}.")
 
     # -- parameter access -------------------------------------------------------
     def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
@@ -99,6 +151,32 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    # -- precision ---------------------------------------------------------------
+    def astype(self, dtype: DtypeLike) -> "Module":
+        """Cast every parameter, gradient and buffer to ``dtype`` in place.
+
+        Used by :class:`~repro.nn.trainer.Trainer` to honour
+        ``TrainingConfig.precision`` on models that were built under a
+        different policy; casting to the current dtype is a no-op.
+        """
+        resolved = resolve_dtype(dtype)
+        for module in self.modules():
+            for param in module._parameters.values():
+                param.astype(resolved)
+            for name, value in module._buffers.items():
+                if isinstance(value, np.ndarray) and np.issubdtype(
+                    value.dtype, np.floating
+                ) and value.dtype != resolved:
+                    module.register_buffer(name, value.astype(resolved))
+        return self
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The dtype of the module's parameters (policy default if it has none)."""
+        for _, param in self.named_parameters():
+            return param.data.dtype
+        return resolve_dtype(None)
+
     # -- state dict --------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
         """Return a copy of every parameter array keyed by qualified name."""
@@ -115,7 +193,9 @@ class Module:
             )
         for name, param in own.items():
             if name in state:
-                value = np.asarray(state[name], dtype=np.float64)
+                # Cast into the parameter's own dtype (the seed forced
+                # float64 here, which silently un-did a float32 policy).
+                value = np.asarray(state[name], dtype=param.data.dtype)
                 if value.shape != param.data.shape:
                     raise ValueError(
                         f"shape mismatch for '{name}': "

@@ -1,4 +1,14 @@
-"""Optimisers."""
+"""Optimisers.
+
+Both optimisers update their state and the parameters *in place* via ``out=``
+ufuncs: one scratch buffer per parameter (allocated lazily, reused every
+step) replaces the per-step temporaries the seed allocated for the effective
+gradient, the momentum/moment updates and the final delta.  The arithmetic
+is kept operation-for-operation identical to the seed's expressions (same
+associativity, commutative reorderings only), so float64 runs remain
+bit-for-bit reproducible across the rewrite -- the property suite pins the
+in-place steps against a re-implementation of the seed's allocating math.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +17,16 @@ from typing import Any, Dict, List, Sequence
 import numpy as np
 
 from repro.nn.tensor import Parameter
+
+
+def _ensure_buffer(store: Dict[int, np.ndarray], param: Parameter) -> np.ndarray:
+    """Lazily allocated per-parameter state buffer (reset on shape/dtype change)."""
+    key = id(param)
+    buffer = store.get(key)
+    if buffer is None or buffer.shape != param.data.shape or buffer.dtype != param.data.dtype:
+        buffer = np.zeros_like(param.data)
+        store[key] = buffer
+    return buffer
 
 
 class SGD:
@@ -36,6 +56,7 @@ class SGD:
         self.weight_decay = weight_decay
         self.max_grad_norm = max_grad_norm
         self._velocity: Dict[int, np.ndarray] = {}
+        self._scratch: Dict[int, np.ndarray] = {}
 
     def zero_grad(self) -> None:
         """Reset gradients on every managed parameter."""
@@ -57,21 +78,24 @@ class SGD:
                     param.grad *= scale
 
     def step(self) -> None:
-        """Apply one update to every trainable parameter."""
+        """Apply one update to every trainable parameter (all in place)."""
         self._clip_gradients()
         for param in self.parameters:
             if not param.trainable:
                 continue
-            grad = param.grad
+            scratch = _ensure_buffer(self._scratch, param)
             if self.weight_decay > 0:
-                grad = grad + self.weight_decay * param.data
-            key = id(param)
-            velocity = self._velocity.get(key)
-            if velocity is None:
-                velocity = np.zeros_like(param.data)
-            velocity = self.momentum * velocity - self.lr * grad
-            self._velocity[key] = velocity
-            param.data = param.data + velocity
+                # grad + weight_decay * data, without a fresh temporary.
+                np.multiply(param.data, self.weight_decay, out=scratch)
+                np.add(scratch, param.grad, out=scratch)
+                grad = scratch
+            else:
+                grad = param.grad
+            velocity = _ensure_buffer(self._velocity, param)
+            np.multiply(velocity, self.momentum, out=velocity)
+            np.multiply(grad, self.lr, out=scratch)
+            np.subtract(velocity, scratch, out=velocity)
+            np.add(param.data, velocity, out=param.data)
 
     def set_lr(self, lr: float) -> None:
         """Set the learning rate (used by schedulers)."""
@@ -98,7 +122,9 @@ class SGD:
                 f"{len(self.parameters)} parameters"
             )
         for param, buffer in zip(self.parameters, velocity):
-            self._velocity[id(param)] = np.asarray(buffer, dtype=np.float64).copy()
+            self._velocity[id(param)] = np.asarray(
+                buffer, dtype=param.data.dtype
+            ).copy()
 
 
 class Adam:
@@ -137,6 +163,8 @@ class Adam:
         self._step = 0
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
+        self._scratch: Dict[int, np.ndarray] = {}
+        self._scratch2: Dict[int, np.ndarray] = {}
 
     def zero_grad(self) -> None:
         """Reset gradients on every managed parameter."""
@@ -157,7 +185,7 @@ class Adam:
                     param.grad *= scale
 
     def step(self) -> None:
-        """Apply one Adam update to every trainable parameter."""
+        """Apply one Adam update to every trainable parameter (all in place)."""
         self._clip_gradients()
         self._step += 1
         bias1 = 1.0 - self.beta1**self._step
@@ -165,22 +193,33 @@ class Adam:
         for param in self.parameters:
             if not param.trainable:
                 continue
-            grad = param.grad
+            scratch = _ensure_buffer(self._scratch, param)
+            scratch2 = _ensure_buffer(self._scratch2, param)
             if self.weight_decay > 0:
-                grad = grad + self.weight_decay * param.data
-            key = id(param)
-            m = self._m.get(key)
-            v = self._v.get(key)
-            if m is None:
-                m = np.zeros_like(param.data)
-                v = np.zeros_like(param.data)
-            m = self.beta1 * m + (1 - self.beta1) * grad
-            v = self.beta2 * v + (1 - self.beta2) * grad**2
-            self._m[key] = m
-            self._v[key] = v
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                np.multiply(param.data, self.weight_decay, out=scratch2)
+                np.add(scratch2, param.grad, out=scratch2)
+                grad = scratch2
+            else:
+                grad = param.grad
+            m = _ensure_buffer(self._m, param)
+            v = _ensure_buffer(self._v, param)
+            # m = beta1 * m + (1 - beta1) * grad
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1 - self.beta1, out=scratch)
+            np.add(m, scratch, out=m)
+            # v = beta2 * v + (1 - beta2) * grad**2
+            np.multiply(v, self.beta2, out=v)
+            np.multiply(grad, grad, out=scratch)
+            np.multiply(scratch, 1 - self.beta2, out=scratch)
+            np.add(v, scratch, out=v)
+            # data -= lr * (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(m, bias1, out=scratch)
+            np.multiply(scratch, self.lr, out=scratch)
+            np.divide(v, bias2, out=scratch2)
+            np.sqrt(scratch2, out=scratch2)
+            np.add(scratch2, self.eps, out=scratch2)
+            np.divide(scratch, scratch2, out=scratch)
+            np.subtract(param.data, scratch, out=param.data)
 
     def set_lr(self, lr: float) -> None:
         """Set the learning rate (used by schedulers)."""
@@ -219,5 +258,5 @@ class Adam:
             )
         self._step = int(state["step"])
         for param, m, v in zip(self.parameters, state["m"], state["v"]):
-            self._m[id(param)] = np.asarray(m, dtype=np.float64).copy()
-            self._v[id(param)] = np.asarray(v, dtype=np.float64).copy()
+            self._m[id(param)] = np.asarray(m, dtype=param.data.dtype).copy()
+            self._v[id(param)] = np.asarray(v, dtype=param.data.dtype).copy()

@@ -6,6 +6,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn.dtype import DtypeLike, resolve_dtype
+
 
 class Parameter:
     """A named, trainable array with an accumulated gradient.
@@ -13,13 +15,30 @@ class Parameter:
     ``trainable`` supports the paper's freezing method: frozen blocks keep
     their pre-trained weights and the optimiser skips them, which both
     reduces the number of trained parameters and shrinks the search space.
+
+    ``dtype`` defaults to the global precision policy
+    (:mod:`repro.nn.dtype`), which is float64 unless a run opts into float32.
     """
 
-    def __init__(self, data: np.ndarray, name: str = "", trainable: bool = True):
-        self.data = np.asarray(data, dtype=np.float64)
+    def __init__(
+        self,
+        data: np.ndarray,
+        name: str = "",
+        trainable: bool = True,
+        dtype: DtypeLike = None,
+    ):
+        self.data = np.asarray(data, dtype=resolve_dtype(dtype))
         self.grad = np.zeros_like(self.data)
         self.name = name
         self.trainable = trainable
+
+    def astype(self, dtype: DtypeLike) -> "Parameter":
+        """Cast the value and gradient to ``dtype`` in place (no-op if equal)."""
+        resolved = resolve_dtype(dtype)
+        if self.data.dtype != resolved:
+            self.data = self.data.astype(resolved)
+            self.grad = self.grad.astype(resolved)
+        return self
 
     @property
     def shape(self) -> tuple:

@@ -7,9 +7,10 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.nn.dtype import DTYPE_NAMES, resolve_dtype
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.metrics import accuracy
-from repro.nn.module import Module
+from repro.nn.module import Module, inference_mode
 from repro.nn.optim import SGD, Adam
 from repro.nn.schedulers import StepDecay
 from repro.utils.rng import SeedLike, new_rng
@@ -37,6 +38,14 @@ class TrainingConfig:
     max_grad_norm: float = 5.0
     shuffle: bool = True
     seed: Optional[int] = 0
+    # Compute precision of the training run: None keeps the model/data dtype
+    # as built (the seed's float64 behaviour); "float32" casts the model and
+    # the batches once at fit time for ~2x kernel throughput.  RNG streams
+    # (shuffling, dropout) are identical across precisions.
+    precision: Optional[str] = None
+    # Batch size used by predict/evaluate; None falls back to ``batch_size``.
+    # Inference keeps no backward caches, so far larger batches are safe.
+    inference_batch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.epochs < 0:
@@ -57,6 +66,13 @@ class TrainingConfig:
             raise ValueError("lr_gamma must be positive")
         if not 0.0 <= self.momentum < 1.0:
             raise ValueError("momentum must be in [0, 1)")
+        if self.precision is not None and self.precision not in DTYPE_NAMES:
+            raise ValueError(
+                f"precision must be one of {DTYPE_NAMES} (or None), "
+                f"got {self.precision!r}"
+            )
+        if self.inference_batch_size is not None and self.inference_batch_size <= 0:
+            raise ValueError("inference_batch_size must be positive when given")
 
 
 @dataclass
@@ -95,6 +111,14 @@ class Trainer:
             raise ValueError("images and labels must have the same first dimension")
         if images.shape[0] == 0:
             raise ValueError("cannot train on an empty dataset")
+
+        if config.precision is not None:
+            # Cast once up front; the whole forward/backward/optimizer chain
+            # then stays in this dtype (losses and optimizer state follow
+            # their inputs).
+            dtype = resolve_dtype(config.precision)
+            model.astype(dtype)
+            images = images.astype(dtype, copy=False)
 
         rng = new_rng(config.seed)
         loss_fn = CrossEntropyLoss()
@@ -151,13 +175,22 @@ class Trainer:
     def predict(
         self, model: Module, images: np.ndarray, batch_size: Optional[int] = None
     ) -> np.ndarray:
-        """Return predicted class indices for ``images``."""
-        batch = batch_size or self.config.batch_size
+        """Return predicted class indices for ``images``.
+
+        Runs under :func:`~repro.nn.module.inference_mode`, so the layers
+        keep no backward caches; ``TrainingConfig.inference_batch_size``
+        (default: the training batch size) controls the batching.
+        """
+        batch = batch_size or self.config.inference_batch_size or self.config.batch_size
+        # Feed the model its own precision: predicting float64 images through
+        # a float32-trained model would silently upcast every layer.
+        images = images.astype(model.dtype, copy=False)
         model.eval()
         predictions: List[np.ndarray] = []
-        for start in range(0, images.shape[0], batch):
-            logits = model.forward(images[start : start + batch])
-            predictions.append(logits.argmax(axis=1))
+        with inference_mode():
+            for start in range(0, images.shape[0], batch):
+                logits = model.forward(images[start : start + batch])
+                predictions.append(logits.argmax(axis=1))
         model.train()
         if not predictions:
             return np.zeros((0,), dtype=np.int64)

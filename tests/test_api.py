@@ -120,9 +120,17 @@ class TestSpecSerialization:
 
     def test_schema_covers_every_section(self):
         sections = {leaf.section for leaf in spec_schema()}
-        assert sections == {"dataset", "design", "search", "evaluation", "engine"}
+        assert sections == {
+            "dataset",
+            "design",
+            "search",
+            "evaluation",
+            "compute",
+            "engine",
+        }
         paths = [leaf.path for leaf in spec_schema()]
         assert "search.episodes" in paths and "engine.backend" in paths
+        assert "compute.precision" in paths
         assert "engine.cache" not in paths  # live objects never reach the schema
         assert "evaluation.max_parameters" in paths
         # Lists of objects have no single-flag CLI form.
