@@ -1,0 +1,70 @@
+"""Run lifecycle API end to end: submit, stream events, cancel, resume.
+
+Uses the in-process executor with an on-disk registry -- the same code path
+the ``repro-search serve`` daemon runs behind HTTP.  Start a daemon and
+replace ``RunClient.local(...)`` with ``RunClient.connect(url)`` and nothing
+else changes.
+
+    PYTHONPATH=src python examples/run_service.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.engine.events import EPISODE_FINISHED
+from repro.service import RunCancelled, RunClient
+
+SPEC = os.path.join(os.path.dirname(__file__), "specs", "smoke.json")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as scratch:
+        runs_root = os.path.join(scratch, "runs")
+        client = RunClient.local(runs_root=runs_root)
+
+        # -- submit and stream the typed event feed --------------------------------
+        handle = client.submit(SPEC)
+        print(f"submitted {handle.run_id} (state: {handle.state})")
+        for event in handle.events(follow=True):
+            if event.kind == EPISODE_FINISHED:
+                print(
+                    f"  episode {event.episode}: "
+                    f"reward={event.payload['reward']:+.4f} "
+                    f"worker={event.payload['worker']}"
+                )
+        report = handle.result()
+        print(f"finished: {len(report.history)} episodes\n{report.summary()}\n")
+
+        # -- cancel mid-run, then resume from the checkpoint -----------------------
+        second = client.submit(SPEC)
+        for event in second.events(follow=True):
+            if event.kind == EPISODE_FINISHED:
+                print(f"cancelling {second.run_id} after episode {event.episode}")
+                second.cancel()  # honoured at the next wave boundary
+                break
+        try:
+            second.result()
+        except RunCancelled:
+            status = second.status()
+            print(
+                f"cancelled at episode {status['episodes_done']} -- "
+                f"checkpoint kept under {status['run_dir']}"
+            )
+        resumed = client.resume(second.run_id)
+        final = resumed.result()
+        print(
+            f"resumed and completed: {len(final.history)} episodes "
+            f"(continued from {final.resumed_from})"
+        )
+
+        # -- the registry is plain files -------------------------------------------
+        print("\nruns root layout:")
+        for status in client.list_runs():
+            print(f"  {status['run_id']}: {status['state']}")
+        print(f"  (tail any run offline: repro-search tail <dir-under-{runs_root}>)")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,8 @@ The package provides:
   cache, checkpoint/resume,
 * :mod:`repro.api` -- the declarative run API (serializable
   :class:`~repro.api.spec.RunSpec`, strategy registry, ``repro.run()``),
+* :mod:`repro.service` -- the run lifecycle service: ``RunClient`` /
+  ``RunHandle``, typed event streams, and the ``repro-search serve`` daemon,
 * :mod:`repro.experiments` -- one harness per table / figure of the paper.
 
 The recommended entry point is the declarative facade::
@@ -31,6 +33,7 @@ from repro.version import __version__
 # light while making ``repro.run(spec)`` the one-line front door.
 _API_EXPORTS = (
     "run",
+    "execute",
     "RunSpec",
     "RunReport",
     "ComputeSpec",
@@ -44,7 +47,13 @@ _API_EXPORTS = (
     "get_strategy",
 )
 
-__all__ = ["__version__", *_API_EXPORTS]
+# Lazy aliases of the run lifecycle service (same PEP 562 mechanism).
+_SERVICE_EXPORTS = (
+    "RunClient",
+    "RunHandle",
+)
+
+__all__ = ["__version__", *_API_EXPORTS, *_SERVICE_EXPORTS]
 
 
 def __getattr__(name: str):
@@ -52,6 +61,10 @@ def __getattr__(name: str):
         from repro import api
 
         return getattr(api, name)
+    if name in _SERVICE_EXPORTS:
+        from repro import service
+
+        return getattr(service, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

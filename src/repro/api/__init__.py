@@ -33,9 +33,9 @@ from repro.api.registry import (
     strategy_descriptions,
     unregister_strategy,
 )
-from repro.api.run import RunReport, run
+from repro.api.run import RunReport, execute, run
 from repro.api import strategies as _builtin_strategies  # noqa: F401  (registers built-ins)
-from repro.api.strategies import RandomSearch
+from repro.api.strategies import RandomSearch, RegularizedEvolutionSearch
 
 __all__ = [
     "ComputeSpec",
@@ -56,5 +56,7 @@ __all__ = [
     "unregister_strategy",
     "RunReport",
     "run",
+    "execute",
     "RandomSearch",
+    "RegularizedEvolutionSearch",
 ]

@@ -8,7 +8,11 @@ Subcommands:
   random``, boolean fields as ``--engine-use-cache/--no-engine-use-cache``),
 * ``validate spec.json``              -- parse, validate and print the
   canonical spec plus its cache key without running anything,
-* ``strategies``                      -- list the registered strategies.
+* ``strategies``                      -- list the registered strategies,
+* ``serve`` / ``submit`` / ``status`` / ``tail`` / ``cancel`` / ``list``
+  -- the run-service lifecycle (see :mod:`repro.service.cli`): a daemon
+  accepting RunSpec JSON, non-blocking submissions addressed by run id, and
+  typed event-stream tailing that also works offline on any run directory.
 
 The flags are generated from :func:`repro.api.spec.spec_schema`, so a new
 spec field automatically becomes a CLI override.  The legacy flat-flag
@@ -29,6 +33,8 @@ from repro.api.run import run as run_spec
 from repro.api.spec import RunSpec, spec_schema
 from repro.engine.checkpoint import has_checkpoint
 from repro.engine.engine import resolve_engine_config
+from repro.service.cli import SERVICE_COMMANDS, add_service_subparsers
+from repro.service.errors import RunNotFound, RunNotReady, ServiceError
 
 
 def add_spec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("strategies", help="list the registered strategies")
+    add_service_subparsers(subparsers)
     return parser
 
 
@@ -184,9 +191,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_validate(args)
         if args.command == "strategies":
             return _cmd_strategies()
-    except (ValueError, FileNotFoundError) as error:
+        if args.command in SERVICE_COMMANDS:
+            return SERVICE_COMMANDS[args.command](args)
+    except (
+        ValueError,
+        FileNotFoundError,
+        RunNotFound,
+        RunNotReady,
+        ServiceError,
+    ) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
     return 2  # unreachable: argparse enforces a known command
 
 

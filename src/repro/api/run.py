@@ -7,20 +7,37 @@ bundling the search result, the engine's execution statistics, the artifact
 paths and the resolved spec.  With a run directory configured, the resolved
 spec is archived next to the checkpoint (``run_spec.json``) so a run can be
 re-launched -- locally or on a remote worker -- from its own artifacts.
+
+Since the run-service redesign, ``run()`` is thin sugar over the lifecycle
+API: it submits the spec to a :class:`~repro.service.client.RunClient`
+backed by an ephemeral in-process
+:class:`~repro.service.local.LocalExecutor` and blocks on
+``handle.result()``.  The synchronous entry point and a service-managed run
+therefore execute the exact same code -- :func:`execute` -- and produce
+bit-for-bit identical reports.  :func:`execute` itself stays importable for
+callers that need the extra lifecycle hooks (a cooperative
+:class:`~repro.engine.engine.StopToken`, a live event callback) without a
+client in between.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 from repro.api.registry import get_strategy
 from repro.api.spec import RunSpec
 from repro.core.fahana import FaHaNaResult
 from repro.data.dataset import GroupedDataset
 from repro.engine.checkpoint import CHECKPOINT_JSON
-from repro.engine.engine import EngineConfig, SearchEngine, resolve_engine_config
+from repro.engine.engine import (
+    EngineConfig,
+    SearchEngine,
+    StopToken,
+    resolve_engine_config,
+)
+from repro.engine.events import EngineEvent
 from repro.engine.serde import history_to_dict
 from repro.hardware.constraints import DesignSpec
 
@@ -44,6 +61,9 @@ class RunReport:
     # stopped the run before its episode budget.
     evaluations_by_fidelity: Dict[str, int] = field(default_factory=dict)
     early_stopped: bool = False
+    # True when a cooperative stop request ended the run at a wave boundary
+    # (the run directory then holds a checkpoint to resume from).
+    cancelled: bool = False
     resumed_from: Optional[int] = None
     run_dir: Optional[str] = None
     telemetry_path: Optional[str] = None
@@ -80,6 +100,8 @@ class RunReport:
             stats += f"; trainings by fidelity: {per_stage}"
         if self.early_stopped:
             stats += "; stopped early (reward plateau)"
+        if self.cancelled:
+            stats += "; cancelled (resumable from the run-dir checkpoint)"
         lines.append(stats)
         return "\n".join(lines)
 
@@ -92,6 +114,7 @@ class RunReport:
             "evaluations_run": self.evaluations_run,
             "evaluations_by_fidelity": dict(self.evaluations_by_fidelity),
             "early_stopped": self.early_stopped,
+            "cancelled": self.cancelled,
             "cache_hits": self.cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
             "checkpoints_written": self.checkpoints_written,
@@ -136,7 +159,7 @@ def _resolve_engine_config(
     return resolve_engine_config(explicit if explicit is not None else spec.engine)
 
 
-def run(
+def execute(
     spec: SpecLike,
     *,
     engine: Optional[EngineConfig] = None,
@@ -144,19 +167,27 @@ def run(
     train_dataset: Optional[GroupedDataset] = None,
     validation_dataset: Optional[GroupedDataset] = None,
     design_spec: Optional[DesignSpec] = None,
+    stop_token: Optional[StopToken] = None,
+    event_callback: Optional[Callable[[EngineEvent], None]] = None,
 ) -> RunReport:
-    """Execute the run a spec describes and return the unified report.
+    """Execute the run a spec describes, synchronously, in this thread.
 
-    ``spec`` may be a :class:`RunSpec`, a path to a spec JSON file or a plain
-    dict.  ``train_dataset``/``validation_dataset`` inject pre-built (e.g.
-    normalised) splits in place of the spec's dataset section -- both must be
-    given together; ``design_spec`` likewise overrides the design section
-    with an already-materialised :class:`DesignSpec`.  When either is
-    injected the spec no longer fully describes the run, so no
-    ``run_spec.json`` is archived in the run directory (``spec_path`` stays
-    None).  ``engine`` overrides the spec's engine section (setting both is
-    an error); ``resume=True`` continues from the checkpoint in the engine's
-    run directory.
+    This is the one execution path behind both ``repro.run`` and the run
+    service.  ``spec`` may be a :class:`RunSpec`, a path to a spec JSON file
+    or a plain dict.  ``train_dataset``/``validation_dataset`` inject
+    pre-built (e.g. normalised) splits in place of the spec's dataset
+    section -- both must be given together; ``design_spec`` likewise
+    overrides the design section with an already-materialised
+    :class:`DesignSpec`.  When either is injected the spec no longer fully
+    describes the run, so no ``run_spec.json`` is archived in the run
+    directory (``spec_path`` stays None).  ``engine`` overrides the spec's
+    engine section (setting both is an error); ``resume=True`` continues
+    from the checkpoint in the engine's run directory.
+
+    ``stop_token`` is checked at wave boundaries: once requested, the engine
+    writes its checkpoint and returns a partial report with
+    ``cancelled=True``.  ``event_callback`` subscribes to the engine's event
+    bus before the run starts, so a caller sees the full live stream.
     """
     resolved = _resolve_spec(spec)
     if (train_dataset is None) != (validation_dataset is None):
@@ -176,7 +207,9 @@ def run(
     strategy = get_strategy(resolved.strategy)
     search = strategy.factory(resolved, train_dataset, validation_dataset, design)
 
-    search_engine = SearchEngine(search, engine_config)
+    search_engine = SearchEngine(search, engine_config, stop_token=stop_token)
+    if event_callback is not None:
+        search_engine.events.subscribe(event_callback)
     resumed_from: Optional[int] = None
     if resume:
         resumed_from = search_engine.restore()
@@ -211,6 +244,7 @@ def run(
         evaluations_run=search_engine.evaluations_run,
         evaluations_by_fidelity=dict(search_engine.evaluations_by_fidelity),
         early_stopped=search_engine.early_stopped,
+        cancelled=search_engine.cancelled,
         cache_hits=search_engine.cache_hits,
         cache_hit_rate=cache.hit_rate if cache is not None else None,
         checkpoints_written=search_engine.checkpoints_written,
@@ -221,3 +255,44 @@ def run(
         spec_path=spec_path,
         engine=search_engine,
     )
+
+
+def run(
+    spec: SpecLike,
+    *,
+    engine: Optional[EngineConfig] = None,
+    resume: bool = False,
+    train_dataset: Optional[GroupedDataset] = None,
+    validation_dataset: Optional[GroupedDataset] = None,
+    design_spec: Optional[DesignSpec] = None,
+) -> RunReport:
+    """Execute the run a spec describes and return the unified report.
+
+    Thin sugar over the run lifecycle API: the spec is submitted to an
+    ephemeral in-process :class:`~repro.service.local.LocalExecutor` through
+    :class:`~repro.service.client.RunClient` and the call blocks on
+    ``handle.result()``.  Every argument is forwarded to :func:`execute`
+    unchanged, so the report -- cache keys included -- is bit-for-bit
+    identical to running the spec directly.  See :func:`execute` for the
+    argument semantics.
+    """
+    # Imported lazily: repro.service builds on this module.
+    from repro.service.client import RunClient
+
+    handle = RunClient.local().submit(
+        spec,
+        engine=engine,
+        resume=resume,
+        train_dataset=train_dataset,
+        validation_dataset=validation_dataset,
+        design_spec=design_spec,
+    )
+    try:
+        return handle.result()
+    except KeyboardInterrupt:
+        # The engine runs on a background thread now; without this it would
+        # keep computing after Ctrl-C.  The cooperative cancel checkpoints at
+        # the next wave boundary (when a run_dir is configured), so an
+        # interrupted run is resumable just like a cancelled one.
+        handle.cancel()
+        raise

@@ -19,6 +19,7 @@ from repro.engine.checkpoint import (
 from repro.engine.engine import (
     EngineConfig,
     SearchEngine,
+    StopToken,
     get_default_engine_config,
     resolve_engine_config,
     set_default_engine_config,
@@ -41,6 +42,7 @@ __all__ = [
     "save_checkpoint",
     "EngineConfig",
     "SearchEngine",
+    "StopToken",
     "get_default_engine_config",
     "resolve_engine_config",
     "set_default_engine_config",

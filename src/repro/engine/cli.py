@@ -7,6 +7,14 @@ The primary interface is the spec-driven one (handled by
     repro-search validate spec.json
     repro-search strategies
 
+The run-service lifecycle lives behind the same entry point (see
+:mod:`repro.service.cli`):
+
+    repro-search serve --port 8023 --runs-root runs
+    repro-search submit spec.json --url http://127.0.0.1:8023
+    repro-search tail <run-id-or-run-dir> --follow
+    repro-search status/cancel/list ...
+
 The original flat-flag interface keeps working -- it is translated into the
 same :class:`~repro.api.spec.RunSpec` and routed through the same
 ``repro.run`` facade:
@@ -26,7 +34,18 @@ from repro.engine.checkpoint import has_checkpoint
 from repro.engine.workers import BACKENDS
 
 # First-argument tokens that select the spec-driven CLI in repro.api.cli.
-SUBCOMMANDS = ("run", "validate", "strategies")
+SUBCOMMANDS = (
+    "run",
+    "validate",
+    "strategies",
+    # Run-service lifecycle (repro.service.cli).
+    "serve",
+    "submit",
+    "status",
+    "tail",
+    "cancel",
+    "list",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -33,6 +33,7 @@ run directory is configured).
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -58,6 +59,7 @@ from repro.engine.events import (
     EARLY_STOPPED,
     EPISODE_FINISHED,
     GATE_REJECTED,
+    RUN_CANCELLED,
     RUN_FINISHED,
     RUN_STARTED,
     STAGE_FINISHED,
@@ -75,6 +77,36 @@ from repro.utils.fingerprint import (
     content_fingerprint,
 )
 from repro.zoo.descriptors import ArchitectureDescriptor
+
+
+class StopToken:
+    """Cooperative cancellation signal checked by the engine loop.
+
+    ``request()`` flags the token in-process; a token constructed with a
+    ``path`` is additionally set by the mere existence of that file, which is
+    how another process (``repro-search cancel`` on a shared runs root)
+    reaches a run it does not hold a thread handle to.  The engine honours a
+    set token at the next wave boundary where no policy-gradient episodes are
+    pending, writes its usual checkpoint and stops -- so a cancelled run is
+    always resumable.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self._event = threading.Event()
+        self.path = path
+
+    def request(self) -> None:
+        """Request cancellation (idempotent, thread-safe)."""
+        self._event.set()
+
+    def is_set(self) -> bool:
+        """True once cancellation was requested (in-process or via the file)."""
+        if self._event.is_set():
+            return True
+        if self.path is not None and os.path.exists(self.path):
+            self._event.set()
+            return True
+        return False
 
 
 @dataclass
@@ -219,10 +251,17 @@ def _evaluate_stage_payload(
 class SearchEngine:
     """Executes a FaHaNa/MONAS search with batching, caching and checkpoints."""
 
-    def __init__(self, search: FaHaNaSearch, config: Optional[EngineConfig] = None):
+    def __init__(
+        self,
+        search: FaHaNaSearch,
+        config: Optional[EngineConfig] = None,
+        stop_token: Optional[StopToken] = None,
+    ):
         self.search = search
         self.config = config or EngineConfig()
         self.events = EventBus()
+        self.stop_token = stop_token or StopToken()
+        self.cancelled = False
         self.cache = self._build_cache()
         # Computed on first use: hashing the datasets and backbone weights is
         # O(bytes) work the default no-cache/no-checkpoint path never needs.
@@ -539,6 +578,22 @@ class SearchEngine:
         )
         try:
             while self._next_episode < num_episodes:
+                if (
+                    self.stop_token.is_set()
+                    and search.policy_trainer.pending_episodes == 0
+                ):
+                    # A boundary with no pending episodes is exactly a
+                    # checkpointable state; with pending episodes the loop
+                    # runs further waves (at most one policy batch) first.
+                    self.cancelled = True
+                    self._emit(
+                        RUN_CANCELLED,
+                        payload={
+                            "episodes_done": self._next_episode,
+                            "episodes": num_episodes,
+                        },
+                    )
+                    break
                 if self._plateaued():
                     self.early_stopped = True
                     self._emit(
@@ -599,6 +654,7 @@ class SearchEngine:
                 "evaluations_by_fidelity": dict(self.evaluations_by_fidelity),
                 "cache_hits": self.cache_hits,
                 "early_stopped": self.early_stopped,
+                "cancelled": self.cancelled,
                 "total_seconds": history.total_seconds,
             },
         )

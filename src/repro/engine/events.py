@@ -7,6 +7,16 @@ with plain callables; the built-in :class:`JsonlTelemetry` consumer appends
 one JSON line per event to ``<run_dir>/telemetry.jsonl`` so that external
 tooling (dashboards, tail -f, post-hoc analysis) can follow a search without
 touching engine internals.
+
+:meth:`EngineEvent.to_dict` / :meth:`EngineEvent.from_dict` are exact
+inverses, so one ``EngineEvent`` schema serves both transports: a live
+in-process subscription sees the same objects an out-of-process consumer
+reconstructs from ``telemetry.jsonl`` lines (this is what the run service's
+typed event streams are built on).
+
+A raising subscriber never kills the emitting engine loop: the failure is
+caught, announced once as a ``consumer-error`` event, and delivery
+continues -- telemetry is observability, not a load-bearing dependency.
 """
 
 from __future__ import annotations
@@ -14,8 +24,9 @@ from __future__ import annotations
 import json
 import os
 import time
+import traceback
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 # Event kinds emitted by the engine.
 RUN_STARTED = "run-started"
@@ -31,6 +42,16 @@ WAVE_PROMOTED = "wave-promoted"
 # Engine-level scheduling kinds.
 EARLY_STOPPED = "early-stopped"
 WAVE_RESIZED = "wave-resized"
+# Lifecycle / bus-health kinds.
+RUN_CANCELLED = "run-cancelled"
+CONSUMER_ERROR = "consumer-error"
+
+# Kinds that end a run's event stream (a tail can stop following after one).
+TERMINAL_KINDS = (RUN_FINISHED, RUN_CANCELLED)
+
+# The reserved top-level keys of a serialized event; everything else on a
+# telemetry line is payload.
+_EVENT_FIELDS = ("kind", "episode", "timestamp")
 
 
 @dataclass(frozen=True)
@@ -50,15 +71,43 @@ class EngineEvent:
             **self.payload,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EngineEvent":
+        """Rebuild an event from its :meth:`to_dict` form (telemetry line)."""
+        if not isinstance(payload, dict) or "kind" not in payload:
+            raise ValueError(f"not a serialized engine event: {payload!r}")
+        rest = {k: v for k, v in payload.items() if k not in _EVENT_FIELDS}
+        episode = payload.get("episode")
+        return cls(
+            kind=str(payload["kind"]),
+            episode=None if episode is None else int(episode),
+            payload=rest,
+            timestamp=float(payload.get("timestamp", 0.0)),
+        )
+
+    @property
+    def is_terminal(self) -> bool:
+        """True for the kinds that end a run's event stream."""
+        return self.kind in TERMINAL_KINDS
+
 
 EventCallback = Callable[[EngineEvent], None]
 
 
 class EventBus:
-    """Minimal synchronous publish/subscribe hub."""
+    """Minimal synchronous publish/subscribe hub.
+
+    Subscriber exceptions are isolated: the first failure of each consumer is
+    announced as a single ``consumer-error`` event and the consumer stays
+    subscribed (it may fail transiently); the engine loop never sees the
+    exception.
+    """
 
     def __init__(self) -> None:
         self._subscribers: List[tuple] = []
+        # id() of every callback whose failure was already announced -- the
+        # consumer-error event is emitted once per consumer, not per event.
+        self._announced_failures: Set[int] = set()
 
     def subscribe(
         self, callback: EventCallback, kinds: Optional[List[str]] = None
@@ -72,12 +121,44 @@ class EventBus:
         self._subscribers = [
             (cb, kinds) for cb, kinds in self._subscribers if cb is not callback
         ]
+        # An unsubscribed callback's id() may be recycled by a later one.
+        self._announced_failures.discard(id(callback))
 
     def emit(self, event: EngineEvent) -> None:
         """Deliver ``event`` to every matching subscriber, in order."""
         for callback, kinds in list(self._subscribers):
             if kinds is None or event.kind in kinds:
-                callback(event)
+                try:
+                    callback(event)
+                except Exception as error:
+                    self._note_failure(callback, event, error)
+
+    def _note_failure(
+        self, callback: EventCallback, event: EngineEvent, error: Exception
+    ) -> None:
+        """Announce a consumer's first failure; later ones stay silent.
+
+        Announcing through :meth:`emit` means the failing consumer receives
+        the consumer-error event too -- if it raises again it is already in
+        the announced set, so the recursion bottoms out after one level.
+        """
+        if id(callback) in self._announced_failures:
+            return
+        self._announced_failures.add(id(callback))
+        self.emit(
+            EngineEvent(
+                kind=CONSUMER_ERROR,
+                episode=event.episode,
+                payload={
+                    "consumer": getattr(
+                        callback, "__qualname__", type(callback).__name__
+                    ),
+                    "failed_kind": event.kind,
+                    "error": f"{type(error).__name__}: {error}",
+                    "traceback": traceback.format_exc(limit=5),
+                },
+            )
+        )
 
 
 class JsonlTelemetry:

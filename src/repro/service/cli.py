@@ -1,0 +1,372 @@
+"""``repro-search`` run-service subcommands: serve / submit / status / tail /
+cancel / list.
+
+Every subcommand addresses runs either **through the daemon** (``--url``) or
+**directly on a runs root** (``--runs-root``, the default ``runs``) -- the
+registry is plain files, so status, tail, cancel and list work offline on
+any run directory, including one produced by a daemon that has since exited.
+``tail`` additionally accepts a run *directory path*, so any run that wrote
+``telemetry.jsonl`` (service-managed or a plain ``engine.run_dir``) can be
+followed with a live best-reward/episode progress line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+from typing import Any, Dict, Iterator, Optional
+
+from repro.engine.events import (
+    CHECKPOINT_WRITTEN,
+    CONSUMER_ERROR,
+    EARLY_STOPPED,
+    EPISODE_FINISHED,
+    RUN_CANCELLED,
+    RUN_FINISHED,
+    RUN_STARTED,
+    EngineEvent,
+)
+from repro.service import registry as reg
+from repro.service.events import tail_telemetry
+from repro.service.registry import RunRegistry
+
+DEFAULT_RUNS_ROOT = "runs"
+DEFAULT_PORT = 8023
+
+
+# -- shared argument wiring ---------------------------------------------------------
+def add_target_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--url`` (daemon) vs ``--runs-root`` (offline registry) selection."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--url",
+        default=None,
+        help="address of a repro-search serve daemon (e.g. http://127.0.0.1:8023)",
+    )
+    group.add_argument(
+        "--runs-root",
+        default=None,
+        help=f"operate directly on this runs root (default: {DEFAULT_RUNS_ROOT!r})",
+    )
+
+
+def _remote(args: argparse.Namespace):
+    from repro.service.remote import ServiceExecutor
+
+    return ServiceExecutor(args.url)
+
+
+def _registry(args: argparse.Namespace) -> RunRegistry:
+    return RunRegistry(args.runs_root or DEFAULT_RUNS_ROOT)
+
+
+# -- progress rendering --------------------------------------------------------------
+class ProgressPrinter:
+    """Turns an engine event stream into human progress lines.
+
+    Tracks the running best reward so a tail shows search progress, not just
+    raw telemetry.
+    """
+
+    def __init__(self) -> None:
+        self.best_reward = float("-inf")
+        self.episodes_done = 0
+
+    def line(self, event: EngineEvent) -> Optional[str]:
+        payload = event.payload
+        if event.kind == RUN_STARTED:
+            return (
+                f"run started: {payload.get('episodes')} episodes "
+                f"(from episode {payload.get('start_episode', 0)}, "
+                f"backend={payload.get('backend')}, wave={payload.get('wave_size')})"
+            )
+        if event.kind == EPISODE_FINISHED:
+            reward = float(payload.get("reward", float("nan")))
+            self.best_reward = max(self.best_reward, reward)
+            self.episodes_done += 1
+            cached = " cache" if payload.get("cache_hit") else ""
+            return (
+                f"[ep {event.episode:>4}] reward={reward:+.4f} "
+                f"best={self.best_reward:+.4f} "
+                f"acc={float(payload.get('accuracy', 0.0)):.3f}"
+                f"{cached}"
+            )
+        if event.kind == CHECKPOINT_WRITTEN:
+            return f"checkpoint written (next episode {payload.get('next_episode')})"
+        if event.kind == EARLY_STOPPED:
+            return (
+                f"early stop: reward plateaued since episode "
+                f"{payload.get('best_episode')}"
+            )
+        if event.kind == RUN_CANCELLED:
+            return (
+                f"cancel honoured at episode {payload.get('episodes_done')} "
+                f"of {payload.get('episodes')}"
+            )
+        if event.kind == CONSUMER_ERROR:
+            return (
+                f"warning: event consumer {payload.get('consumer')} failed: "
+                f"{payload.get('error')}"
+            )
+        if event.kind == RUN_FINISHED:
+            verdict = "cancelled" if payload.get("cancelled") else "finished"
+            best = (
+                f"best reward {self.best_reward:+.4f}"
+                if self.episodes_done
+                else "no episodes"
+            )
+            return (
+                f"run {verdict}: {payload.get('episodes')} episodes recorded, "
+                f"{payload.get('evaluations_run')} evaluations, "
+                f"{payload.get('cache_hits')} cache hits, {best}"
+            )
+        return None
+
+
+def print_progress(events: Iterator[EngineEvent]) -> int:
+    """Stream progress lines to stdout; returns the episode count seen."""
+    printer = ProgressPrinter()
+    for event in events:
+        line = printer.line(event)
+        if line is not None:
+            print(line, flush=True)
+    return printer.episodes_done
+
+
+def _print_status(status: Dict[str, Any]) -> None:
+    print(json.dumps(status, indent=2, sort_keys=True))
+
+
+def _status_row(status: Dict[str, Any]) -> str:
+    best = status.get("best_reward")
+    return (
+        f"{status['run_id']:32s} {status['state']:9s} "
+        f"{status.get('strategy') or '?':10s} "
+        f"episodes={status.get('episodes_done') if status.get('episodes_done') is not None else '-'}"
+        f"/{status.get('episodes', '-')} "
+        f"best={'-' if best is None else f'{best:+.4f}'}"
+    )
+
+
+# -- subcommands ---------------------------------------------------------------------
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import RunService
+
+    service = RunService(
+        runs_root=args.runs_root or DEFAULT_RUNS_ROOT,
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        quiet=not args.verbose,
+    )
+    print(
+        f"run service listening on {service.url} "
+        f"(runs root {service.executor.registry.root}, "
+        f"{args.workers} worker slot{'s' if args.workers != 1 else ''})",
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def _handle_signal(signum, frame):  # noqa: ARG001
+        stop.set()
+
+    signal.signal(signal.SIGINT, _handle_signal)
+    signal.signal(signal.SIGTERM, _handle_signal)
+    service.start()
+    try:
+        while not stop.wait(timeout=0.5):
+            pass
+    finally:
+        service.shutdown()
+        print("run service stopped", flush=True)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.api.spec import RunSpec
+    from repro.service.client import RunClient
+
+    spec = RunSpec.from_file(args.spec)
+    if args.url:
+        client = RunClient.connect(args.url)
+    else:
+        # No daemon: execute in this process against the runs root.  The
+        # submission would die with the process, so waiting is implied.
+        client = RunClient.local(
+            runs_root=args.runs_root or DEFAULT_RUNS_ROOT, max_workers=1
+        )
+        if not (args.wait or args.follow):
+            print(
+                "note: no --url given; executing in-process and waiting "
+                "(use repro-search serve for queued submissions)",
+                file=sys.stderr,
+            )
+            args.wait = True
+    handle = client.submit(spec)
+    if args.quiet:
+        print(handle.run_id)
+    else:
+        print(f"submitted run {handle.run_id} (strategy={spec.strategy}, "
+              f"{spec.search.episodes} episodes)")
+    if args.follow:
+        print_progress(handle.events(follow=True))
+    if args.wait or args.follow:
+        from repro.service.errors import RunCancelled, RunFailed
+
+        try:
+            handle.result()
+        except (RunCancelled, RunFailed) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            status = handle.status()
+            best = status.get("best_reward")
+            print(
+                f"run {handle.run_id} finished: "
+                f"{status.get('episodes_done')} episodes, "
+                f"best reward {'-' if best is None else format(best, '+.4f')}"
+            )
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    if args.url:
+        _print_status(_remote(args).status(args.run_id))
+    else:
+        _print_status(_registry(args).load_status(args.run_id))
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    statuses = (
+        _remote(args).list_runs() if args.url else _registry(args).list_statuses()
+    )
+    if not statuses:
+        print("no runs")
+        return 0
+    for status in statuses:
+        print(_status_row(status))
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    if args.url:
+        status = _remote(args).cancel(args.run_id)
+    else:
+        # Offline: the marker file reaches the executing process's
+        # file-backed stop token through the shared filesystem.
+        status = _registry(args).request_cancel(args.run_id)
+    print(
+        f"cancel requested for {args.run_id} "
+        f"(state: {status['state']}); the engine stops at the next wave "
+        "boundary and leaves a resumable checkpoint"
+    )
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """Tail a run's typed event stream -- daemon, registry or bare run dir."""
+    if args.url:
+        events = _remote(args).events(
+            args.run, since=args.since, follow=args.follow
+        )
+        print_progress(events)
+        return 0
+    if os.path.isdir(args.run):
+        telemetry = os.path.join(args.run, reg.TELEMETRY_JSONL)
+    else:
+        registry = _registry(args)
+        if not os.path.isdir(registry.run_dir(args.run)):
+            print(
+                f"error: {args.run!r} is neither a run directory nor a run id "
+                f"under {registry.root!r}",
+                file=sys.stderr,
+            )
+            return 2
+        telemetry = registry.telemetry_path(args.run)
+    if not args.follow and not os.path.exists(telemetry):
+        print(f"error: no telemetry stream at {telemetry!r}", file=sys.stderr)
+        return 2
+    episodes = print_progress(
+        tail_telemetry(telemetry, since=args.since, follow=args.follow)
+    )
+    if episodes == 0 and args.since == 0:
+        print("(no episodes in the telemetry stream)")
+    return 0
+
+
+# -- parser wiring -------------------------------------------------------------------
+def add_service_subparsers(subparsers: argparse._SubParsersAction) -> None:
+    """Attach the run-service subcommands to the ``repro-search`` parser."""
+    serve = subparsers.add_parser(
+        "serve", help="start the local run service daemon (HTTP, RunSpec JSON in)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT, help="bind port")
+    serve.add_argument(
+        "--runs-root",
+        default=None,
+        help=f"directory for run registries (default: {DEFAULT_RUNS_ROOT!r})",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="concurrent run slots (FIFO queue)"
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a run spec to the service (or runs root)"
+    )
+    submit.add_argument("spec", help="path to a RunSpec JSON file")
+    add_target_arguments(submit)
+    submit.add_argument(
+        "--wait", action="store_true", help="block until the run completes"
+    )
+    submit.add_argument(
+        "--follow", action="store_true", help="stream progress while waiting"
+    )
+    submit.add_argument(
+        "--quiet", action="store_true", help="print only the run id"
+    )
+
+    status = subparsers.add_parser("status", help="print one run's status JSON")
+    status.add_argument("run_id", help="run id")
+    add_target_arguments(status)
+
+    tail = subparsers.add_parser(
+        "tail",
+        help="follow a run's telemetry as progress lines "
+        "(run id, or any run directory with telemetry.jsonl)",
+    )
+    tail.add_argument("run", help="run id or run directory path")
+    add_target_arguments(tail)
+    tail.add_argument(
+        "--follow", action="store_true", help="keep following until the run ends"
+    )
+    tail.add_argument(
+        "--since", type=int, default=0, help="skip this many leading events"
+    )
+
+    cancel = subparsers.add_parser(
+        "cancel", help="request cooperative cancellation of a run"
+    )
+    cancel.add_argument("run_id", help="run id")
+    add_target_arguments(cancel)
+
+    list_parser = subparsers.add_parser("list", help="list known runs")
+    add_target_arguments(list_parser)
+
+
+SERVICE_COMMANDS = {
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "tail": cmd_tail,
+    "cancel": cmd_cancel,
+    "list": cmd_list,
+}

@@ -1,0 +1,253 @@
+"""The local run service daemon behind ``repro-search serve``.
+
+A stdlib-only HTTP front (``http.server.ThreadingHTTPServer``) over a
+registry-backed :class:`~repro.service.local.LocalExecutor`: submissions are
+``RunSpec`` JSON, runs queue on the executor's bounded worker-slot pool, and
+every artifact lives in the runs root, so daemon restarts lose nothing.
+
+Endpoints (all JSON)::
+
+    GET  /healthz                  liveness probe
+    POST /runs                     submit a RunSpec JSON body -> {"run_id"}
+    GET  /runs                     every run's status, oldest first
+    GET  /runs/<id>                one run's status
+    GET  /runs/<id>/report         RunReport.to_dict() (409 until finished)
+    GET  /runs/<id>/events?since=N event page {"events", "next", "done"}
+    POST /runs/<id>/cancel         cooperative cancel -> updated status
+    POST /runs/<id>/resume         re-queue from the checkpoint -> {"run_id"}
+
+Errors are structured: ``{"error": {"type", "message"}}`` with 400 for
+invalid specs/JSON, 404 for unknown runs or endpoints and 409 for a report
+requested before the run finished.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.spec import RunSpec
+from repro.service import registry as reg
+from repro.service.errors import RunNotFound, RunNotReady
+from repro.service.local import LocalExecutor
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-run-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def executor(self) -> LocalExecutor:
+        return self.server.executor  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "quiet", True):
+            return
+        super().log_message(format, *args)
+
+    # -- response helpers ----------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, kind: str, message: str) -> None:
+        self._send_json(status, {"error": {"type": kind, "message": message}})
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise _BadRequest("invalid-json", f"request body is not JSON: {error}")
+
+    def _route(self) -> Tuple[str, Optional[str], Optional[str], Dict[str, str]]:
+        """Split the path into (root, run_id, action, query)."""
+        split = urllib.parse.urlsplit(self.path)
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(split.query).items()
+        }
+        parts = [part for part in split.path.split("/") if part]
+        root = parts[0] if parts else ""
+        run_id = urllib.parse.unquote(parts[1]) if len(parts) > 1 else None
+        action = parts[2] if len(parts) > 2 else None
+        if len(parts) > 3:
+            raise _NotFoundPath()
+        return root, run_id, action, query
+
+    # -- request dispatch ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            root, run_id, action, query = self._route()
+            handler = self._resolve_handler(method, root, run_id, action)
+            handler(run_id, query)
+        except _BadRequest as error:
+            self._send_error_json(400, error.kind, error.message)
+        except _NotFoundPath:
+            self._send_error_json(
+                404, "unknown-endpoint", f"no such endpoint: {method} {self.path}"
+            )
+        except RunNotFound as error:
+            self._send_error_json(404, "unknown-run", str(error))
+        except RunNotReady as error:
+            self._send_error_json(409, "run-not-ready", str(error))
+        except ValueError as error:
+            self._send_error_json(400, "invalid-spec", str(error))
+        except Exception as error:  # no stack traces over the wire
+            self._send_error_json(500, "internal-error", f"{type(error).__name__}: {error}")
+
+    def _resolve_handler(
+        self, method: str, root: str, run_id: Optional[str], action: Optional[str]
+    ):
+        if method == "GET" and root == "healthz" and run_id is None:
+            return self._get_health
+        if root != "runs":
+            raise _NotFoundPath()
+        if method == "GET":
+            if run_id is None:
+                return self._get_runs
+            if action is None:
+                return self._get_status
+            if action == "report":
+                return self._get_report
+            if action == "events":
+                return self._get_events
+        if method == "POST":
+            if run_id is None and action is None:
+                return self._post_submit
+            if action == "cancel":
+                return self._post_cancel
+            if action == "resume":
+                return self._post_resume
+        raise _NotFoundPath()
+
+    # -- endpoint implementations ---------------------------------------------------
+    def _get_health(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        self._send_json(200, {"ok": True, "runs_root": self.executor.registry.root})
+
+    def _post_submit(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        payload = self._read_json_body()
+        spec = RunSpec.from_dict(payload)  # ValueError -> structured 400
+        submitted = self.executor.submit(spec)
+        self._send_json(
+            201, {"run_id": submitted, "status": self.executor.status(submitted)}
+        )
+
+    def _get_runs(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        self._send_json(200, {"runs": self.executor.list_runs()})
+
+    def _get_status(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        self._send_json(200, self.executor.status(run_id))
+
+    def _get_report(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        self._send_json(200, self.executor.report(run_id))
+
+    def _get_events(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        try:
+            since = int(query.get("since", "0"))
+        except ValueError:
+            raise _BadRequest("invalid-query", "'since' must be an integer")
+        events = list(self.executor.events(run_id, since=since, follow=False))
+        state = self.executor.status(run_id)["state"]
+        self._send_json(
+            200,
+            {
+                "events": [event.to_dict() for event in events],
+                "next": since + len(events),
+                "done": state in reg.TERMINAL_STATES,
+            },
+        )
+
+    def _post_cancel(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        self._read_json_body()  # drain (and validate) any body
+        self._send_json(200, self.executor.cancel(run_id))
+
+    def _post_resume(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        self._read_json_body()
+        resumed = self.executor.resume(run_id)
+        self._send_json(
+            200, {"run_id": resumed, "status": self.executor.status(resumed)}
+        )
+
+
+class _BadRequest(Exception):
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+
+
+class _NotFoundPath(Exception):
+    pass
+
+
+class RunService:
+    """The daemon: a threading HTTP server over a registry-backed executor."""
+
+    def __init__(
+        self,
+        runs_root: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 1,
+        quiet: bool = True,
+    ):
+        # The daemon owns its runs root: re-enqueue runs a previous daemon
+        # left queued and fail the ones it left mid-flight (resumable).
+        self.executor = LocalExecutor(
+            runs_root=runs_root, max_workers=max_workers, recover=True
+        )
+        self.server = ThreadingHTTPServer((host, port), _RequestHandler)
+        self.server.daemon_threads = True
+        self.server.executor = self.executor  # type: ignore[attr-defined]
+        self.server.quiet = quiet  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "RunService":
+        """Serve in a background thread (for embedding and tests)."""
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True, name="repro-run-service"
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self.server.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting requests and wind down the worker pool."""
+        self.server.shutdown()
+        self.server.server_close()
+        self.executor.shutdown(wait=False)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,62 @@
+"""Exception types of the run lifecycle API.
+
+Shared by every executor backend so callers handle one vocabulary: a local
+in-process run and a run behind the HTTP daemon raise the same types for the
+same conditions (unknown id, cancelled run, report not ready).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RunNotFound(KeyError):
+    """No run with the given id is known to the executor."""
+
+    def __init__(self, run_id: str):
+        super().__init__(run_id)
+        self.run_id = run_id
+
+    def __str__(self) -> str:  # KeyError repr-quotes its arg; keep it readable
+        return f"unknown run id {self.run_id!r}"
+
+
+class RunCancelled(RuntimeError):
+    """The run was cancelled; its checkpoint makes it resumable."""
+
+    def __init__(self, run_id: str):
+        super().__init__(
+            f"run {run_id!r} was cancelled at a wave boundary; "
+            f"resume it to continue from its checkpoint"
+        )
+        self.run_id = run_id
+
+
+class RunFailed(RuntimeError):
+    """The run raised; carries the remote error message.
+
+    Only raised by executors that cannot re-raise the original exception
+    (the HTTP backend); the local executor re-raises the real one.
+    """
+
+    def __init__(self, run_id: str, message: str):
+        super().__init__(f"run {run_id!r} failed: {message}")
+        self.run_id = run_id
+        self.message = message
+
+
+class RunNotReady(RuntimeError):
+    """The run has not produced the requested artifact (report) yet."""
+
+    def __init__(self, run_id: str, state: str):
+        super().__init__(f"run {run_id!r} has no report yet (state: {state})")
+        self.run_id = run_id
+        self.state = state
+
+
+class ServiceError(RuntimeError):
+    """The run service answered with an unexpected error or is unreachable."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status

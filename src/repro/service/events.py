@@ -1,0 +1,141 @@
+"""Typed, replayable event streams for the run lifecycle API.
+
+Both transports speak :class:`~repro.engine.events.EngineEvent`:
+
+* :class:`EventLog` -- the in-process stream.  A bus subscriber appends
+  events as the engine emits them; any number of readers replay the log from
+  an index and optionally block for more (``follow=True``) until the run
+  closes the log.
+* :func:`tail_telemetry` -- the out-of-process stream.  Reads a run
+  directory's ``telemetry.jsonl`` (written by
+  :class:`~repro.engine.events.JsonlTelemetry`) back into ``EngineEvent``
+  objects, optionally following the file as the run appends to it.
+
+``EngineEvent.to_dict`` / ``from_dict`` being exact inverses is what makes
+the two interchangeable: a consumer written against one schema works on
+live subscriptions, HTTP event pages and offline telemetry files alike.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Iterator, List, Optional
+
+from repro.engine.events import EngineEvent
+
+
+class EventLog:
+    """Thread-safe, replayable, append-only event stream of one run.
+
+    Usable directly as an event-bus subscriber (``bus.subscribe(log)``).
+    Readers never miss events: iteration always starts from an absolute
+    index, so a consumer that subscribes late replays the history first and
+    then follows live.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[EngineEvent] = []
+        self._closed = False
+        self._condition = threading.Condition()
+
+    def __call__(self, event: EngineEvent) -> None:
+        self.append(event)
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._events)
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
+
+    def append(self, event: EngineEvent) -> None:
+        with self._condition:
+            if self._closed:
+                raise ValueError("cannot append to a closed event log")
+            self._events.append(event)
+            self._condition.notify_all()
+
+    def close(self) -> None:
+        """Mark the stream complete; followers drain and stop (idempotent)."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def snapshot(self, since: int = 0) -> List[EngineEvent]:
+        """The events from absolute index ``since`` onward, non-blocking."""
+        with self._condition:
+            return list(self._events[since:])
+
+    def iter(self, since: int = 0, follow: bool = False) -> Iterator[EngineEvent]:
+        """Replay from ``since``; with ``follow`` block for more until closed."""
+        index = since
+        while True:
+            with self._condition:
+                while follow and index >= len(self._events) and not self._closed:
+                    # The timeout is a liveness guard only (close() notifies).
+                    self._condition.wait(timeout=0.5)
+                batch = list(self._events[index:])
+                closed = self._closed
+            for event in batch:
+                yield event
+            index += len(batch)
+            if not follow or (closed and not batch):
+                return
+
+
+def tail_telemetry(
+    path: str,
+    since: int = 0,
+    follow: bool = False,
+    poll_interval: float = 0.2,
+    timeout: Optional[float] = None,
+) -> Iterator[EngineEvent]:
+    """Yield the events of a ``telemetry.jsonl`` file, oldest first.
+
+    Works on any run directory's telemetry stream -- service-managed or not.
+    ``since`` skips that many events (an absolute index, matching
+    :meth:`EventLog.iter`).  With ``follow=True`` the file is polled for
+    growth until the run's event stream ends or ``timeout`` seconds pass;
+    otherwise the current contents are drained once.  A resumed run appends
+    a new segment after its predecessor's terminal event, so "ended" means
+    the *latest* drained event is terminal -- a stale ``run-finished`` from
+    a cancelled segment with live events behind it does not stop the tail.
+    Partial trailing lines (a writer mid-append) are buffered until
+    complete, and unparsable lines are skipped rather than ending the
+    stream.
+    """
+    index = 0
+    position = 0
+    pending = ""
+    last_was_terminal = False
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                handle.seek(position)
+                chunk = handle.read()
+                position = handle.tell()
+            pending += chunk
+            while "\n" in pending:
+                line, pending = pending.split("\n", 1)
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = EngineEvent.from_dict(json.loads(line))
+                except (ValueError, json.JSONDecodeError):
+                    continue
+                last_was_terminal = event.is_terminal
+                if index >= since:
+                    yield event
+                index += 1
+        if not follow or last_was_terminal:
+            return
+        if deadline is not None and time.monotonic() >= deadline:
+            return
+        time.sleep(poll_interval)

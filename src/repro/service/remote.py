@@ -1,0 +1,182 @@
+"""The HTTP executor backend: a client for ``repro-search serve``.
+
+:class:`ServiceExecutor` implements the same
+:class:`~repro.service.client.Executor` protocol as the in-process
+:class:`~repro.service.local.LocalExecutor`, speaking the daemon's JSON
+endpoints (see :mod:`repro.service.daemon`).  ``RunSpec`` JSON is the only
+wire format: a submission POSTs the spec's canonical dict, and everything
+that comes back (statuses, reports, events) is plain JSON -- events are
+rebuilt into typed :class:`~repro.engine.events.EngineEvent` objects via
+``EngineEvent.from_dict``, so consumers cannot tell the transports apart.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.api.run import _resolve_spec
+from repro.engine.events import EngineEvent
+from repro.service import registry as reg
+from repro.service.errors import (
+    RunCancelled,
+    RunFailed,
+    RunNotFound,
+    RunNotReady,
+    ServiceError,
+)
+
+_JSON_HEADERS = {"Content-Type": "application/json"}
+
+
+class ServiceExecutor:
+    """Talks to a ``repro-search serve`` daemon over HTTP."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- HTTP plumbing -------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        run_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            headers=_JSON_HEADERS if data is not None else {},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.load(response)
+        except urllib.error.HTTPError as error:
+            raise self._map_error(error, run_id) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"run service unreachable at {self.base_url}: {error.reason}"
+            ) from None
+
+    def _map_error(
+        self, error: urllib.error.HTTPError, run_id: Optional[str]
+    ) -> Exception:
+        """Translate the daemon's structured errors into the shared types."""
+        message = ""
+        try:
+            body = json.loads(error.read().decode("utf-8", "replace"))
+            message = str(body.get("error", {}).get("message", ""))
+        except (ValueError, AttributeError):
+            pass
+        message = message or f"HTTP {error.code}"
+        if error.code == 404 and run_id is not None:
+            return RunNotFound(run_id)
+        if error.code == 400:
+            return ValueError(message)
+        if error.code == 409 and run_id is not None:
+            return RunNotReady(run_id, message)
+        return ServiceError(message, status=error.code)
+
+    # -- the Executor protocol ------------------------------------------------------
+    def submit(self, spec: Any, **options: Any) -> str:
+        unsupported = {
+            name
+            for name in ("engine", "train_dataset", "validation_dataset", "design_spec")
+            if options.get(name) is not None
+        }
+        if unsupported or options.get("resume"):
+            raise ValueError(
+                "service submissions are pure RunSpec JSON; in-process "
+                "options are not serializable: "
+                f"{sorted(unsupported | ({'resume'} if options.get('resume') else set()))}"
+                " (put the engine section in the spec, resume by run id)"
+            )
+        resolved = _resolve_spec(spec)
+        response = self._request("POST", "/runs", payload=resolved.to_dict())
+        return str(response["run_id"])
+
+    def resume(self, run_id: str) -> str:
+        quoted = urllib.parse.quote(run_id, safe="")
+        response = self._request(
+            "POST", f"/runs/{quoted}/resume", payload={}, run_id=run_id
+        )
+        return str(response["run_id"])
+
+    def status(self, run_id: str) -> Dict[str, Any]:
+        quoted = urllib.parse.quote(run_id, safe="")
+        return self._request("GET", f"/runs/{quoted}", run_id=run_id)
+
+    def report(self, run_id: str) -> Dict[str, Any]:
+        quoted = urllib.parse.quote(run_id, safe="")
+        return self._request("GET", f"/runs/{quoted}/report", run_id=run_id)
+
+    def result(
+        self, run_id: str, timeout: Optional[float] = None, poll_interval: float = 0.3
+    ) -> Dict[str, Any]:
+        """Poll until the run terminates; return the report payload."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(run_id)
+            state = status["state"]
+            if state == reg.FINISHED:
+                return self.report(run_id)
+            if state == reg.CANCELLED:
+                raise RunCancelled(run_id)
+            if state == reg.FAILED:
+                raise RunFailed(run_id, status.get("error") or "unknown error")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"run {run_id!r} did not complete within {timeout} seconds"
+                )
+            time.sleep(poll_interval)
+
+    def cancel(self, run_id: str) -> Dict[str, Any]:
+        quoted = urllib.parse.quote(run_id, safe="")
+        return self._request(
+            "POST", f"/runs/{quoted}/cancel", payload={}, run_id=run_id
+        )
+
+    def events(
+        self,
+        run_id: str,
+        since: int = 0,
+        follow: bool = False,
+        poll_interval: float = 0.3,
+    ) -> Iterator[EngineEvent]:
+        """Page through the events endpoint; with ``follow`` poll until done."""
+        cursor = since
+        while True:
+            events, cursor, done = self._events_page(run_id, cursor)
+            for event in events:
+                yield event
+            if not follow or (done and not events):
+                return
+            if not events:
+                time.sleep(poll_interval)
+
+    def _events_page(
+        self, run_id: str, since: int
+    ) -> Tuple[List[EngineEvent], int, bool]:
+        quoted = urllib.parse.quote(run_id, safe="")
+        response = self._request(
+            "GET", f"/runs/{quoted}/events?since={since}", run_id=run_id
+        )
+        events = [EngineEvent.from_dict(entry) for entry in response["events"]]
+        return events, int(response["next"]), bool(response["done"])
+
+    def list_runs(self) -> List[Dict[str, Any]]:
+        return list(self._request("GET", "/runs")["runs"])
+
+    def healthy(self) -> bool:
+        """True when the daemon answers its health endpoint."""
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except ServiceError:
+            return False

@@ -139,7 +139,12 @@ class TestSpecSerialization:
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert available_strategies() == ["fahana", "monas", "random"]
+        assert available_strategies() == [
+            "fahana",
+            "monas",
+            "random",
+            "regularized_evolution",
+        ]
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):
