@@ -1,0 +1,95 @@
+"""Observability end to end: metrics, spans, and a Chrome-loadable trace.
+
+Runs a tiny architecture search with the default-on telemetry layer and then
+shows the three ways to look at it:
+
+1. ``RunReport.metrics`` -- the run's own registry snapshot (counters,
+   gauges, histograms), attached to every report,
+2. the process-global registry's Prometheus text exposition -- the same
+   bytes ``GET /metrics`` serves when the daemon is running,
+3. ``trace.json`` -- the run's nested spans exported to Chrome
+   ``trace_event`` format (open in chrome://tracing or ui.perfetto.dev),
+   equivalent to ``repro-search trace <run_dir>``.
+
+Instrumentation never steers the search: flip the kill switch
+(``repro.obs.set_enabled(False)``) and the rewards are bit-for-bit the same.
+
+    PYTHONPATH=src python examples/observability.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import repro
+from repro.api import DesignSpecConfig, RunSpec, SearchParams
+from repro.data import DermatologyConfig, DermatologyGenerator, stratified_split
+from repro.engine import EngineConfig
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace_export import export_chrome_trace
+
+
+def main() -> None:
+    config = DermatologyConfig(
+        image_size=16, samples_per_class_majority=16, minority_fraction=0.4, seed=7
+    )
+    splits = stratified_split(DermatologyGenerator(config).generate(), rng=0)
+
+    spec = RunSpec(
+        strategy="fahana",
+        design=DesignSpecConfig(timing_constraint_ms=4000.0),
+        search=SearchParams(
+            episodes=4,
+            child_epochs=1,
+            pretrain_epochs=1,
+            max_searchable=2,
+            width_multiplier=0.25,
+            seed=0,
+        ),
+    )
+
+    with tempfile.TemporaryDirectory() as scratch:
+        run_dir = os.path.join(scratch, "run")
+        report = repro.run(
+            spec,
+            engine=EngineConfig(use_cache=True, run_dir=run_dir),
+            train_dataset=splits.train,
+            validation_dataset=splits.validation,
+        )
+        print(report.summary())
+
+        # 1. The run's own metrics ride along on the report.
+        metrics = report.metrics
+        print("\nreport.metrics highlights:")
+        for sample in metrics["repro_engine_episodes_total"]["samples"]:
+            print(f"  episodes[{sample['labels']['result']}] = {sample['value']:.0f}")
+        wave = metrics["repro_engine_wave_seconds"]["samples"][0]
+        print(f"  waves = {wave['count']:.0f}, total wave time = {wave['sum']:.2f}s")
+        for sample in metrics.get("repro_cache_lookups_total", {}).get("samples", []):
+            print(f"  cache[{sample['labels']['result']}] = {sample['value']:.0f}")
+
+        # 2. The process-global registry aggregates every run in the process;
+        #    the daemon serves exactly this text at GET /metrics.
+        exposition = obs_metrics.get_registry().render_prometheus()
+        engine_lines = [
+            line
+            for line in exposition.splitlines()
+            if line.startswith("repro_engine_episodes_total")
+        ]
+        print("\nPrometheus exposition (excerpt):")
+        for line in engine_lines:
+            print(f"  {line}")
+
+        # 3. Spans were persisted to the run's telemetry.jsonl; export them to
+        #    Chrome trace_event JSON (same as: repro-search trace <run_dir>).
+        result = export_chrome_trace(run_dir)
+        print(
+            f"\ntrace: {result['spans']} spans across {result['threads']} "
+            f"threads -> {result['path']}"
+        )
+        print("open it in chrome://tracing or https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -60,6 +60,9 @@ class RunReport:
     # Trainings per fidelity stage and whether reward-plateau detection
     # stopped the run before its episode budget.
     evaluations_by_fidelity: Dict[str, int] = field(default_factory=dict)
+    # Final snapshot of the engine's per-run metrics registry (see
+    # repro.obs.metrics): counters/gauges/histograms keyed by metric name.
+    metrics: Dict[str, Any] = field(default_factory=dict)
     early_stopped: bool = False
     # True when a cooperative stop request ended the run at a wave boundary
     # (the run directory then holds a checkpoint to resume from).
@@ -118,6 +121,7 @@ class RunReport:
             "cache_hits": self.cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
             "checkpoints_written": self.checkpoints_written,
+            "metrics": self.metrics,
             "resumed_from": self.resumed_from,
             "run_dir": self.run_dir,
             "telemetry_path": self.telemetry_path,
@@ -243,6 +247,7 @@ def execute(
         result=result,
         evaluations_run=search_engine.evaluations_run,
         evaluations_by_fidelity=dict(search_engine.evaluations_by_fidelity),
+        metrics=search_engine.metrics.snapshot(),
         early_stopped=search_engine.early_stopped,
         cancelled=search_engine.cancelled,
         cache_hits=search_engine.cache_hits,

@@ -19,11 +19,13 @@ across process restarts.
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.evaluator import EvaluationResult
 from repro.engine.serde import result_from_dict, result_to_dict
+from repro.obs import metrics as obs_metrics
 from repro.utils.serialization import load_json, save_json
 
 
@@ -40,6 +42,27 @@ class EvaluationCache:
         self._entries: "OrderedDict[str, EvaluationResult]" = OrderedDict()
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
+        self.bind_metrics(obs_metrics.get_registry())
+
+    def bind_metrics(self, registry: "obs_metrics.MetricsRegistry") -> None:
+        """Point the cache's instrumentation at ``registry``.
+
+        The engine rebinds a cache it owns to its per-run registry (which
+        mirrors into the process-global one), so lookups show up in both the
+        run's ``RunReport.metrics`` snapshot and the daemon's ``/metrics``.
+        """
+        self._m_lookups = registry.counter(
+            "repro_cache_lookups_total",
+            "Evaluation-cache lookups by result",
+            labelnames=("result",),
+        )
+        self._m_lookup_seconds = registry.histogram(
+            "repro_cache_lookup_seconds",
+            "Evaluation-cache lookup latency (both outcomes)",
+        )
+        self._m_entries = registry.gauge(
+            "repro_cache_entries", "In-memory evaluation-cache entries"
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -56,6 +79,13 @@ class EvaluationCache:
     # -- lookup / insert ---------------------------------------------------------
     def get(self, key: str) -> Optional[EvaluationResult]:
         """Return the memoized result for ``key``, or None on a miss."""
+        start = time.perf_counter()
+        entry = self._lookup(key)
+        self._m_lookup_seconds.observe(time.perf_counter() - start)
+        self._m_lookups.labels(result="hit" if entry is not None else "miss").inc()
+        return entry
+
+    def _lookup(self, key: str) -> Optional[EvaluationResult]:
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -80,6 +110,7 @@ class EvaluationCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+        self._m_entries.set(len(self._entries))
 
     # -- persistence --------------------------------------------------------------
     def _entry_path(self, key: str) -> str:
@@ -105,3 +136,4 @@ class EvaluationCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self._m_entries.set(0)

@@ -14,6 +14,8 @@ The run-service lifecycle lives behind the same entry point (see
     repro-search submit spec.json --url http://127.0.0.1:8023
     repro-search tail <run-id-or-run-dir> --follow
     repro-search status/cancel/list ...
+    repro-search top --url http://127.0.0.1:8023
+    repro-search trace <run-id-or-run-dir> --out trace.json
 
 The original flat-flag interface keeps working -- it is translated into the
 same :class:`~repro.api.spec.RunSpec` and routed through the same
@@ -45,6 +47,9 @@ SUBCOMMANDS = (
     "tail",
     "cancel",
     "list",
+    # Observability (repro.obs behind repro.service.cli).
+    "trace",
+    "top",
 )
 
 

@@ -59,9 +59,11 @@ from repro.engine.events import (
     EARLY_STOPPED,
     EPISODE_FINISHED,
     GATE_REJECTED,
+    METRICS_UPDATED,
     RUN_CANCELLED,
     RUN_FINISHED,
     RUN_STARTED,
+    SPAN,
     STAGE_FINISHED,
     WAVE_PROMOTED,
     WAVE_RESIZED,
@@ -71,6 +73,8 @@ from repro.engine.events import (
 )
 from repro.engine import workers as workers_module
 from repro.engine.workers import BACKENDS, WorkerPool, create_pool
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracing import Tracer
 from repro.utils.fingerprint import (
     array_fingerprint,
     combine_fingerprints,
@@ -206,19 +210,23 @@ class _EpisodeJob:
 
 def _evaluate_payload(
     payload: Tuple[Optional[ChildEvaluator], ChildArchitecture],
-) -> Tuple[EvaluationResult, float]:
+) -> Tuple[EvaluationResult, float, float]:
     """Worker task: evaluate one child (module-level so it pickles).
 
     ``evaluator`` is None when the pool shipped it to the worker process once
     at startup (``EngineConfig.share_evaluator``); it is then read back from
-    the worker's shared slot instead of travelling with every task.
+    the worker's shared slot instead of travelling with every task.  Returns
+    ``(result, elapsed_seconds, wall_start)`` -- the wall-clock start lets
+    the engine record the training as a tracer span on the worker's own
+    timeline, which is what makes a trace show the wave's real parallelism.
     """
     evaluator, child = payload
     if evaluator is None:
         evaluator = workers_module.process_shared()
+    wall_start = time.time()
     start = time.perf_counter()
     result = evaluator.evaluate(child)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, wall_start
 
 
 def _evaluate_stage_payload(
@@ -229,23 +237,25 @@ def _evaluate_stage_payload(
         Optional[PricingReport],
         Optional[Dict[str, Any]],
     ],
-) -> Tuple[EvaluationResult, float]:
+) -> Tuple[EvaluationResult, float, float]:
     """Worker task: train one child at one fidelity stage (staged runs).
 
     ``initial_weights`` is the snapshot taken before the child's first stage;
     restoring it makes every stage train from the same initial weights
     regardless of backend (in-process pools mutate the parent's model, the
-    process pool trains a pickled copy)."""
+    process pool trains a pickled copy).  Returns
+    ``(result, elapsed_seconds, wall_start)`` like :func:`_evaluate_payload`."""
     evaluator, child, fidelity_name, pricing, initial_weights = payload
     if evaluator is None:
         evaluator = workers_module.process_shared()
     pipeline = evaluator.pipeline
     fidelity = pipeline.fidelity(fidelity_name)
+    wall_start = time.time()
     start = time.perf_counter()
     result = pipeline.train_and_score(
         child, fidelity, pricing=pricing, restore_from=initial_weights
     )
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, wall_start
 
 
 class SearchEngine:
@@ -276,12 +286,50 @@ class SearchEngine:
         self._restored_history: Optional[SearchHistory] = None
         self._restored_seconds = 0.0
         self._next_episode = 0
+        self._telemetry: Optional[JsonlTelemetry] = None
         if self.config.run_dir is not None:
             os.makedirs(self.config.run_dir, exist_ok=True)
             if self.config.telemetry:
-                self.events.subscribe(
-                    JsonlTelemetry(os.path.join(self.config.run_dir, "telemetry.jsonl"))
+                self._telemetry = JsonlTelemetry(
+                    os.path.join(self.config.run_dir, "telemetry.jsonl")
                 )
+                self.events.subscribe(self._telemetry)
+        # Per-run metric registry mirroring into the process-global one: each
+        # instrumentation write lands in both, so the run's RunReport.metrics
+        # snapshot and the daemon's fleet-wide /metrics share one write path.
+        # Observability observes, it never steers: nothing below touches
+        # cache_key(), the context fingerprint or either RNG stream.
+        self.metrics = obs_metrics.MetricsRegistry(parent=obs_metrics.get_registry())
+        if self.cache is not None:
+            self.cache.bind_metrics(self.metrics)
+        self.tracer = Tracer(self._emit_span)
+        self._m_waves = self.metrics.counter(
+            "repro_engine_waves_total", "Waves completed"
+        )
+        self._m_wave_seconds = self.metrics.histogram(
+            "repro_engine_wave_seconds", "Wall time per wave (sample to observe)"
+        )
+        self._m_episodes = self.metrics.counter(
+            "repro_engine_episodes_total",
+            "Episodes finished, by outcome",
+            labelnames=("result",),
+        )
+        self._m_eps = self.metrics.gauge(
+            "repro_engine_episodes_per_second",
+            "Episodes completed per wall second (current run)",
+        )
+        self._m_best = self.metrics.gauge(
+            "repro_engine_best_reward", "Best Eq.1 reward observed so far"
+        )
+        self._m_promotions = self.metrics.counter(
+            "repro_engine_promotions_total",
+            "Children promoted to a higher fidelity stage",
+        )
+        self._m_evaluations = self.metrics.counter(
+            "repro_engine_evaluations_total",
+            "Worker evaluations run, by fidelity",
+            labelnames=("fidelity",),
+        )
 
     # -- construction helpers -----------------------------------------------------
     def _build_cache(self) -> Optional[EvaluationCache]:
@@ -564,6 +612,7 @@ class SearchEngine:
         )
 
         start = time.perf_counter()
+        start_episode = self._next_episode
         episodes_since_checkpoint = 0
         shared = (
             search.evaluator
@@ -575,6 +624,7 @@ class SearchEngine:
             self.config.num_workers,
             shared=shared,
             blas_threads=self.config.blas_threads_per_worker,
+            metrics=self.metrics,
         )
         try:
             while self._next_episode < num_episodes:
@@ -612,15 +662,27 @@ class SearchEngine:
                     # resizing never changes when the controller updates.
                     boundary = policy_batch - (self._next_episode % policy_batch)
                     wave = min(wave, boundary)
-                jobs = self._sample_wave(wave)
-                if staged:
-                    self._evaluate_wave_staged(jobs, pool)
-                else:
-                    self._evaluate_wave(jobs, pool)
-                for job in jobs:
-                    self._observe(job, history)
+                wave_start = time.perf_counter()
+                with self.tracer.span(
+                    "wave", episode=self._next_episode, wave=wave
+                ):
+                    with self.tracer.span("sample", episode=self._next_episode):
+                        jobs = self._sample_wave(wave)
+                    if staged:
+                        self._evaluate_wave_staged(jobs, pool)
+                    else:
+                        with self.tracer.span("evaluate", episode=self._next_episode):
+                            self._evaluate_wave(jobs, pool)
+                    with self.tracer.span("observe", episode=self._next_episode):
+                        for job in jobs:
+                            self._observe(job, history)
                 self._next_episode += wave
                 episodes_since_checkpoint += wave
+                self._note_wave_metrics(
+                    wave_seconds=time.perf_counter() - wave_start,
+                    elapsed=time.perf_counter() - start,
+                    start_episode=start_episode,
+                )
                 self._emit(
                     BATCH_FINISHED,
                     payload={
@@ -637,7 +699,8 @@ class SearchEngine:
                     and episodes_since_checkpoint >= self.config.checkpoint_every
                     and search.policy_trainer.pending_episodes == 0
                 ):
-                    self._write_checkpoint(history, time.perf_counter() - start)
+                    with self.tracer.span("checkpoint"):
+                        self._write_checkpoint(history, time.perf_counter() - start)
                     episodes_since_checkpoint = 0
         finally:
             pool.close()
@@ -658,6 +721,9 @@ class SearchEngine:
                 "total_seconds": history.total_seconds,
             },
         )
+        if self._telemetry is not None:
+            # Release the line-buffered handle; it reopens on any later event.
+            self._telemetry.close()
         return FaHaNaResult(
             history=history,
             best=history.best_record(),
@@ -726,11 +792,19 @@ class SearchEngine:
             evaluator = None if pool.uses_shared else self.search.evaluator
             payloads = [(evaluator, job.child) for job in unique]
             results = pool.map_ordered(_evaluate_payload, payloads)
-            for job, ((evaluation, elapsed), worker) in zip(unique, results):
+            for job, ((evaluation, elapsed, started), worker) in zip(unique, results):
                 job.evaluation = evaluation
                 job.worker = worker
                 job.elapsed_seconds = elapsed
                 self.evaluations_run += 1
+                self._m_evaluations.labels(fidelity=evaluation.fidelity).inc()
+                self.tracer.record(
+                    "train",
+                    start=started,
+                    duration=elapsed,
+                    tid=worker,
+                    episode=job.episode,
+                )
                 if evaluation.trained:
                     self.evaluations_by_fidelity[evaluation.fidelity] = (
                         self.evaluations_by_fidelity.get(evaluation.fidelity, 0) + 1
@@ -767,23 +841,26 @@ class SearchEngine:
         """
         pipeline = self.pipeline
         survivors: List[_EpisodeJob] = []
-        for job in jobs:
-            pricing = pipeline.price(job.descriptor)
-            job.pricing = pricing
-            if not pricing.passed and pipeline.bypass_invalid:
-                job.evaluation = pipeline.rejection_result(pricing)
-                job.stages = [f"gate:{outcome.gate}" for outcome in pricing.failures()]
-                job.worker = "gate"
-                self._emit(
-                    GATE_REJECTED,
-                    episode=job.episode,
-                    payload={
-                        "gates": [outcome.gate for outcome in pricing.failures()],
-                        "latency_ms": pricing.latency_ms,
-                    },
-                )
-            else:
-                survivors.append(job)
+        with self.tracer.span("gates"):
+            for job in jobs:
+                pricing = pipeline.price(job.descriptor)
+                job.pricing = pricing
+                if not pricing.passed and pipeline.bypass_invalid:
+                    job.evaluation = pipeline.rejection_result(pricing)
+                    job.stages = [
+                        f"gate:{outcome.gate}" for outcome in pricing.failures()
+                    ]
+                    job.worker = "gate"
+                    self._emit(
+                        GATE_REJECTED,
+                        episode=job.episode,
+                        payload={
+                            "gates": [outcome.gate for outcome in pricing.failures()],
+                            "latency_ms": pricing.latency_ms,
+                        },
+                    )
+                else:
+                    survivors.append(job)
         if len(pipeline.fidelities) > 1 and self.config.backend != "process":
             # Promotion re-trains later stages from the child's initial
             # weights, which in-process proxy training would otherwise have
@@ -798,7 +875,10 @@ class SearchEngine:
             if not survivors:
                 break
             is_last = index == len(stages) - 1
-            evaluated = self._run_stage(survivors, fidelity, index, pool)
+            with self.tracer.span(
+                f"stage:{fidelity.name}", children=len(survivors)
+            ):
+                evaluated = self._run_stage(survivors, fidelity, index, pool)
             self._emit(
                 STAGE_FINISHED,
                 payload={
@@ -814,23 +894,25 @@ class SearchEngine:
                 for job in survivors:
                     self._finalize_staged_job(job)
                 break
-            ranked = sorted(
-                survivors, key=lambda job: (-job.stage_result.reward, job.episode)
-            )
-            eligible = [job for job in ranked if job.stage_result.is_valid]
-            # The quota is a fraction of the wave's *valid* children: invalid
-            # proxy results can never win, so they neither advance nor pad
-            # the promotion budget of the children that can.
-            quota = (
-                max(1, math.ceil(len(eligible) * fidelity.promote_fraction))
-                if eligible
-                else 0
-            )
-            promoted = eligible[:quota]
-            promoted_ids = {id(job) for job in promoted}
-            for job in survivors:
-                if id(job) not in promoted_ids:
-                    self._finalize_staged_job(job)
+            with self.tracer.span("promotion"):
+                ranked = sorted(
+                    survivors, key=lambda job: (-job.stage_result.reward, job.episode)
+                )
+                eligible = [job for job in ranked if job.stage_result.is_valid]
+                # The quota is a fraction of the wave's *valid* children:
+                # invalid proxy results can never win, so they neither advance
+                # nor pad the promotion budget of the children that can.
+                quota = (
+                    max(1, math.ceil(len(eligible) * fidelity.promote_fraction))
+                    if eligible
+                    else 0
+                )
+                promoted = eligible[:quota]
+                promoted_ids = {id(job) for job in promoted}
+                for job in survivors:
+                    if id(job) not in promoted_ids:
+                        self._finalize_staged_job(job)
+            self._m_promotions.inc(len(promoted))
             self._emit(
                 WAVE_PROMOTED,
                 payload={
@@ -907,11 +989,19 @@ class SearchEngine:
                 for job in unique
             ]
             results = pool.map_ordered(_evaluate_stage_payload, payloads)
-            for job, ((evaluation, elapsed), worker) in zip(unique, results):
+            for job, ((evaluation, elapsed, started), worker) in zip(unique, results):
                 job.stage_result = evaluation
                 job.stage_worker = worker
                 job.elapsed_seconds += elapsed
                 self.evaluations_run += 1
+                self._m_evaluations.labels(fidelity=fidelity.name).inc()
+                self.tracer.record(
+                    f"train:{fidelity.name}",
+                    start=started,
+                    duration=elapsed,
+                    tid=worker,
+                    episode=job.episode,
+                )
                 self.evaluations_by_fidelity[fidelity.name] = (
                     self.evaluations_by_fidelity.get(fidelity.name, 0) + 1
                 )
@@ -949,6 +1039,14 @@ class SearchEngine:
         evaluation = job.evaluation
         self.search.policy_trainer.observe(job.sample, evaluation.reward)
         self._note_reward(job.episode, evaluation.reward)
+        if obs_metrics.enabled():
+            result = (
+                "cached"
+                if job.cache_hit
+                else ("trained" if evaluation.trained else "rejected")
+            )
+            self._m_episodes.labels(result=result).inc()
+            self._m_best.set(self._best_reward)
         history.append(
             EpisodeRecord(
                 episode=job.episode,
@@ -984,7 +1082,7 @@ class SearchEngine:
             },
         )
 
-    # -- events -------------------------------------------------------------------
+    # -- events / observability ---------------------------------------------------
     def _emit(
         self,
         kind: str,
@@ -992,3 +1090,37 @@ class SearchEngine:
         payload: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.events.emit(EngineEvent(kind=kind, episode=episode, payload=payload or {}))
+
+    def _emit_span(self, payload: Dict[str, Any], episode: Optional[int]) -> None:
+        """Tracer sink: one completed span becomes one ``span`` event."""
+        self._emit(SPAN, episode=episode, payload=payload)
+
+    def _note_wave_metrics(
+        self, wave_seconds: float, elapsed: float, start_episode: int
+    ) -> None:
+        """Record per-wave instruments and announce a metrics snapshot event.
+
+        The ``metrics-updated`` event carries the handful of aggregates a
+        tail wants on its progress line (throughput, cache hit rate), so a
+        follower does not need to scrape ``/metrics`` -- or even share the
+        process -- to show them.
+        """
+        if not obs_metrics.enabled():
+            return
+        self._m_waves.inc()
+        self._m_wave_seconds.observe(wave_seconds)
+        done = self._next_episode - start_episode
+        eps = done / elapsed if elapsed > 0 else 0.0
+        self._m_eps.set(eps)
+        self._emit(
+            METRICS_UPDATED,
+            payload={
+                "episodes_done": self._next_episode,
+                "elapsed_seconds": elapsed,
+                "episodes_per_second": eps,
+                "cache_hit_rate": (
+                    self.cache.hit_rate if self.cache is not None else None
+                ),
+                "evaluations_run": self.evaluations_run,
+            },
+        )

@@ -45,6 +45,10 @@ WAVE_RESIZED = "wave-resized"
 # Lifecycle / bus-health kinds.
 RUN_CANCELLED = "run-cancelled"
 CONSUMER_ERROR = "consumer-error"
+# Observability kinds (repro.obs): one completed tracer span; one aggregated
+# metrics snapshot per wave (elapsed, episodes/sec, cache hit rate).
+SPAN = "span"
+METRICS_UPDATED = "metrics-updated"
 
 # Kinds that end a run's event stream (a tail can stop following after one).
 TERMINAL_KINDS = (RUN_FINISHED, RUN_CANCELLED)
@@ -73,16 +77,33 @@ class EngineEvent:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "EngineEvent":
-        """Rebuild an event from its :meth:`to_dict` form (telemetry line)."""
+        """Rebuild an event from its :meth:`to_dict` form (telemetry line).
+
+        Forward-compatible by construction: every top-level key this version
+        does not reserve -- including kinds and payload fields introduced by
+        a *newer* engine (span/metric events, say) -- lands in ``payload``
+        untouched, and malformed reserved fields degrade to their defaults
+        instead of raising.  An old CLI can therefore tail a stream written
+        by a newer engine; only a line that is not an event at all (no
+        ``kind``) is rejected.
+        """
         if not isinstance(payload, dict) or "kind" not in payload:
             raise ValueError(f"not a serialized engine event: {payload!r}")
         rest = {k: v for k, v in payload.items() if k not in _EVENT_FIELDS}
         episode = payload.get("episode")
+        try:
+            episode = None if episode is None else int(episode)
+        except (TypeError, ValueError):
+            episode = None
+        try:
+            timestamp = float(payload.get("timestamp", 0.0))
+        except (TypeError, ValueError):
+            timestamp = 0.0
         return cls(
             kind=str(payload["kind"]),
-            episode=None if episode is None else int(episode),
+            episode=episode,
             payload=rest,
-            timestamp=float(payload.get("timestamp", 0.0)),
+            timestamp=timestamp,
         )
 
     @property
@@ -162,13 +183,35 @@ class EventBus:
 
 
 class JsonlTelemetry:
-    """Event consumer appending one JSON line per event to a file."""
+    """Event consumer appending one JSON line per event to a file.
+
+    The file handle is kept open across events and flushed after every line,
+    so a ``repro-search tail`` on a live run directory sees each event as
+    soon as it is emitted (no buffer-boundary latency) without paying an
+    open/close syscall pair per event.  Every write leaves a complete line
+    on disk, so an engine that never reaches :meth:`close` loses nothing.
+    """
 
     def __init__(self, path: str):
         self.path = path
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
+        self._handle = None
 
     def __call__(self, event: EngineEvent) -> None:
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Release the file handle (idempotent; reopened on the next event)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass

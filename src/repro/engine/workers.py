@@ -26,8 +26,11 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs import metrics as obs_metrics
 
 WorkerResult = Tuple[Any, str]
 
@@ -105,6 +108,46 @@ def process_shared() -> Any:
     return _PROCESS_SHARED
 
 
+class _PoolMetrics:
+    """The per-backend worker-pool instruments (see :mod:`repro.obs`).
+
+    ``queue_wait`` (time between submission and a worker picking the task
+    up) is only measurable for in-process backends -- a process worker's
+    start time lives in another process -- and ``task_seconds`` on the
+    process backend therefore spans submit-to-completion (queue wait
+    included).  ``busy_seconds`` accumulates worker-occupied time, so
+    utilization is ``busy_seconds / (wall_time * num_workers)``.
+    """
+
+    def __init__(
+        self, backend: str, registry: Optional["obs_metrics.MetricsRegistry"] = None
+    ):
+        registry = registry or obs_metrics.get_registry()
+        label = {"backend": backend}
+        self.tasks = registry.counter(
+            "repro_pool_tasks_total", "Worker-pool tasks completed",
+            labelnames=("backend",),
+        ).labels(**label)
+        self.task_seconds = registry.histogram(
+            "repro_pool_task_seconds", "Worker-pool task duration",
+            labelnames=("backend",),
+        ).labels(**label)
+        self.queue_wait = registry.histogram(
+            "repro_pool_queue_wait_seconds",
+            "Time a task waited for a worker (in-process backends)",
+            labelnames=("backend",),
+        ).labels(**label)
+        self.in_flight = registry.gauge(
+            "repro_pool_in_flight", "Tasks currently submitted or running",
+            labelnames=("backend",),
+        ).labels(**label)
+        self.busy_seconds = registry.counter(
+            "repro_pool_busy_seconds_total",
+            "Cumulative worker-occupied seconds (utilization numerator)",
+            labelnames=("backend",),
+        ).labels(**label)
+
+
 class WorkerPool:
     """Interface shared by all execution backends."""
 
@@ -134,10 +177,28 @@ class SerialPool(WorkerPool):
 
     name = "serial"
 
+    def __init__(self, metrics: Optional["obs_metrics.MetricsRegistry"] = None):
+        self._metrics = _PoolMetrics(self.name, metrics)
+
     def map_ordered(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
     ) -> List[WorkerResult]:
-        return [(fn(payload), "serial-0") for payload in payloads]
+        meters = self._metrics
+        results: List[WorkerResult] = []
+        for payload in payloads:
+            start = time.perf_counter()
+            meters.in_flight.inc()
+            try:
+                value = fn(payload)
+            finally:
+                duration = time.perf_counter() - start
+                meters.in_flight.dec()
+                meters.queue_wait.observe(0.0)
+                meters.task_seconds.observe(duration)
+                meters.busy_seconds.inc(duration)
+                meters.tasks.inc()
+            results.append((value, "serial-0"))
+        return results
 
 
 class ThreadPool(WorkerPool):
@@ -145,10 +206,15 @@ class ThreadPool(WorkerPool):
 
     name = "thread"
 
-    def __init__(self, num_workers: int = 2):
+    def __init__(
+        self,
+        num_workers: int = 2,
+        metrics: Optional["obs_metrics.MetricsRegistry"] = None,
+    ):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.num_workers = num_workers
+        self._metrics = _PoolMetrics(self.name, metrics)
         self._executor = ThreadPoolExecutor(
             max_workers=num_workers, thread_name_prefix="engine-worker"
         )
@@ -156,10 +222,29 @@ class ThreadPool(WorkerPool):
     def map_ordered(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
     ) -> List[WorkerResult]:
+        submitted = time.perf_counter()
         futures = [
-            self._executor.submit(_thread_tagged, fn, payload) for payload in payloads
+            self._executor.submit(self._run_tagged, fn, payload, submitted)
+            for payload in payloads
         ]
         return [future.result() for future in futures]
+
+    def _run_tagged(
+        self, fn: Callable[[Any], Any], payload: Any, submitted: float
+    ) -> WorkerResult:
+        meters = self._metrics
+        start = time.perf_counter()
+        meters.queue_wait.observe(start - submitted)
+        meters.in_flight.inc()
+        try:
+            value = fn(payload)
+        finally:
+            duration = time.perf_counter() - start
+            meters.in_flight.dec()
+            meters.task_seconds.observe(duration)
+            meters.busy_seconds.inc(duration)
+            meters.tasks.inc()
+        return value, threading.current_thread().name
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)
@@ -180,6 +265,7 @@ class ProcessPool(WorkerPool):
         num_workers: int = 2,
         shared: Any = None,
         blas_threads: Optional[int] = 1,
+        metrics: Optional["obs_metrics.MetricsRegistry"] = None,
     ):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -188,6 +274,7 @@ class ProcessPool(WorkerPool):
         self.num_workers = num_workers
         self.blas_threads = blas_threads
         self.uses_shared = shared is not None
+        self._metrics = _PoolMetrics(self.name, metrics)
         # The initializer always runs: even without a shared payload it pins
         # the worker's BLAS threads so N processes x M BLAS threads do not
         # oversubscribe the cores (bench_engine.py reports the effect).
@@ -200,10 +287,24 @@ class ProcessPool(WorkerPool):
     def map_ordered(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
     ) -> List[WorkerResult]:
-        futures = [
-            self._executor.submit(_process_tagged, fn, payload) for payload in payloads
-        ]
+        meters = self._metrics
+        submitted = time.perf_counter()
+        futures = []
+        for payload in payloads:
+            future = self._executor.submit(_process_tagged, fn, payload)
+            meters.in_flight.inc()
+            future.add_done_callback(
+                lambda _future, start=submitted: self._note_done(start)
+            )
+            futures.append(future)
         return [future.result() for future in futures]
+
+    def _note_done(self, submitted: float) -> None:
+        meters = self._metrics
+        duration = time.perf_counter() - submitted
+        meters.in_flight.dec()
+        meters.task_seconds.observe(duration)
+        meters.tasks.inc()
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)
@@ -222,6 +323,7 @@ def create_pool(
     num_workers: int = 2,
     shared: Optional[Any] = None,
     blas_threads: Optional[int] = 1,
+    metrics: Optional["obs_metrics.MetricsRegistry"] = None,
 ) -> WorkerPool:
     """Instantiate a worker pool by backend name.
 
@@ -230,12 +332,16 @@ def create_pool(
     already share the caller's objects by reference.  ``blas_threads`` pins
     each process worker's BLAS/OpenMP thread count (None leaves it alone);
     the in-process backends ignore it too, since limiting the parent's BLAS
-    would also change the caller's own kernels.
+    would also change the caller's own kernels.  ``metrics`` routes the
+    pool's instruments into a specific registry (the engine passes its
+    per-run registry); None uses the process-global one.
     """
     if backend == "serial":
-        return SerialPool()
+        return SerialPool(metrics=metrics)
     if backend == "thread":
-        return ThreadPool(num_workers)
+        return ThreadPool(num_workers, metrics=metrics)
     if backend == "process":
-        return ProcessPool(num_workers, shared=shared, blas_threads=blas_threads)
+        return ProcessPool(
+            num_workers, shared=shared, blas_threads=blas_threads, metrics=metrics
+        )
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -13,7 +14,36 @@ from repro.nn.metrics import accuracy
 from repro.nn.module import Module, inference_mode
 from repro.nn.optim import SGD, Adam
 from repro.nn.schedulers import StepDecay
+from repro.obs import metrics as obs_metrics
 from repro.utils.rng import SeedLike, new_rng
+
+# Trainer instruments, cached per registry (a test swapping the global
+# registry gets fresh ones).  The trainer writes to the process-global
+# registry directly: on the process worker backend that is the *worker's*
+# registry, so epoch timings from process pools stay per-worker-process --
+# an accepted limitation, the engine-side pool metrics cover that case.
+_instrument_cache: Tuple[Optional[obs_metrics.MetricsRegistry], tuple] = (None, ())
+
+
+def _trainer_instruments() -> tuple:
+    global _instrument_cache
+    registry = obs_metrics.get_registry()
+    cached_registry, instruments = _instrument_cache
+    if cached_registry is not registry:
+        instruments = (
+            registry.counter(
+                "repro_trainer_epochs_total", "Training epochs completed"
+            ),
+            registry.histogram(
+                "repro_trainer_epoch_seconds", "Wall time per training epoch"
+            ),
+            registry.gauge(
+                "repro_trainer_samples_per_second",
+                "Training throughput of the most recent epoch",
+            ),
+        )
+        _instrument_cache = (registry, instruments)
+    return instruments
 
 
 @dataclass
@@ -141,8 +171,12 @@ class Trainer:
         history = TrainingHistory()
 
         num_samples = images.shape[0]
+        instrumented = obs_metrics.enabled()
+        if instrumented:
+            epochs_total, epoch_seconds, samples_per_second = _trainer_instruments()
         model.train()
         for _ in range(config.epochs):
+            epoch_start = time.perf_counter() if instrumented else 0.0
             order = (
                 rng.permutation(num_samples)
                 if config.shuffle
@@ -170,6 +204,12 @@ class Trainer:
             history.accuracies.append(epoch_correct / num_samples)
             history.learning_rates.append(scheduler.current_lr())
             scheduler.step()
+            if instrumented:
+                elapsed = time.perf_counter() - epoch_start
+                epochs_total.inc()
+                epoch_seconds.observe(elapsed)
+                if elapsed > 0:
+                    samples_per_second.set(num_samples / elapsed)
         return history
 
     def predict(

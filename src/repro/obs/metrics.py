@@ -1,0 +1,523 @@
+"""Process-local metrics: counters, gauges, histograms, Prometheus exposition.
+
+The observability layer's one rule is that it *observes* -- instrumentation
+never joins a cache key, never draws from an RNG stream and never changes a
+result.  Everything here is therefore plain bookkeeping: a
+:class:`MetricsRegistry` owns named metric families, each family owns one
+child per label combination, and children mutate a float (or a bucket-count
+list) under a small lock.  Two read paths serve every consumer:
+
+* :meth:`MetricsRegistry.render_prometheus` -- the text exposition format
+  served at the daemon's ``GET /metrics`` endpoint (scrapeable by
+  Prometheus, ``repro-search top`` and plain ``curl``),
+* :meth:`MetricsRegistry.snapshot` -- a JSON-encodable dict, which is what
+  ``RunReport.metrics`` archives per run.
+
+Registries chain: a registry constructed with a ``parent`` mirrors every
+write into the same-named metric of the parent, so a per-run registry gives
+the run its own snapshot while the process-global registry (see
+:func:`get_registry`) accumulates the fleet view the daemon exposes.
+
+:func:`set_enabled` is the kill switch the overhead benchmark compares
+against: with instrumentation disabled every write is a single flag check.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+# Latency-shaped default bucket boundaries (seconds); +Inf is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_enabled = True
+
+
+def set_enabled(value: bool) -> bool:
+    """Globally enable/disable instrumentation writes; returns the old flag."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(value)
+    return previous
+
+
+def enabled() -> bool:
+    """True while instrumentation writes are recorded."""
+    return _enabled
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_suffix(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{key}="{_escape_label(value)}"' for key, value in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Child:
+    """Shared plumbing of one (metric, label-values) time series."""
+
+    __slots__ = ("_lock", "_mirror")
+
+    def __init__(self, mirror: Optional["_Child"]):
+        self._lock = threading.Lock()
+        self._mirror = mirror
+
+
+class CounterValue(_Child):
+    """A monotonically increasing float."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, mirror: Optional["CounterValue"] = None):
+        super().__init__(mirror)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+        if self._mirror is not None:
+            self._mirror.inc(amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class GaugeValue(_Child):
+    """A float that can go up and down."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, mirror: Optional["GaugeValue"] = None):
+        super().__init__(mirror)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not _enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+        if self._mirror is not None:
+            self._mirror.set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _enabled:
+            return
+        with self._lock:
+            self._value += amount
+        if self._mirror is not None:
+            self._mirror.inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class HistogramValue(_Child):
+    """Cumulative-bucket histogram over fixed boundaries."""
+
+    __slots__ = ("bounds", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        bounds: Sequence[float],
+        mirror: Optional["HistogramValue"] = None,
+    ):
+        super().__init__(mirror)
+        self.bounds = tuple(bounds)
+        self._counts = [0] * (len(self.bounds) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if not _enabled:
+            return
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+        if self._mirror is not None:
+            self._mirror.observe(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def buckets(self) -> Dict[str, int]:
+        """Cumulative counts keyed by upper bound (``le``), +Inf last."""
+        with self._lock:
+            counts = list(self._counts)
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            cumulative[_format_value(bound)] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return cumulative
+
+    def quantile(self, q: float) -> float:
+        """Approximate the ``q``-quantile from the bucket boundaries.
+
+        Returns the upper bound of the bucket the quantile falls in (the
+        usual Prometheus ``histogram_quantile`` coarsening); NaN when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return float("nan")
+        target = q * total
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            if running >= target:
+                return bound
+        return math.inf
+
+
+class Metric:
+    """One named metric family: children addressed by label values."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        mirror: Optional["Metric"] = None,
+    ):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._mirror = mirror
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self, mirror_child: Optional[Any]) -> Any:
+        raise NotImplementedError
+
+    def labels(self, **labelvalues: Any) -> Any:
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    mirror_child = (
+                        self._mirror.labels(**labelvalues)
+                        if self._mirror is not None
+                        else None
+                    )
+                    child = self._make_child(mirror_child)
+                    self._children[key] = child
+        return child
+
+    def samples(self) -> List[Tuple[Dict[str, str], Any]]:
+        """(labels dict, child) pairs, insertion-ordered."""
+        with self._lock:
+            items = list(self._children.items())
+        return [(dict(zip(self.labelnames, key)), child) for key, child in items]
+
+    # Convenience pass-throughs for label-free metrics.
+    def _default(self) -> Any:
+        return self.labels()
+
+
+class Counter(Metric):
+    kind = "counter"
+
+    def _make_child(self, mirror_child):
+        return CounterValue(mirror_child)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+
+class Gauge(Metric):
+    kind = "gauge"
+
+    def _make_child(self, mirror_child):
+        return GaugeValue(mirror_child)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+
+class Histogram(Metric):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        mirror: Optional["Histogram"] = None,
+    ):
+        super().__init__(name, help_text, labelnames, mirror)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted non-empty sequence")
+        self.bucket_bounds = tuple(float(bound) for bound in buckets)
+
+    def _make_child(self, mirror_child):
+        return HistogramValue(self.bucket_bounds, mirror_child)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+
+# A callback returns either one float or labelled samples.
+CallbackResult = Any  # float | Iterable[Tuple[Dict[str, str], float]]
+
+
+class MetricsRegistry:
+    """Owns metric families; see the module docstring for the read paths."""
+
+    def __init__(self, parent: Optional["MetricsRegistry"] = None):
+        self.parent = parent
+        self._metrics: Dict[str, Metric] = {}
+        self._callbacks: Dict[str, Tuple[str, Callable[[], CallbackResult]]] = {}
+        self._lock = threading.Lock()
+
+    # -- creation -----------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+        # The parent mirror is created outside our lock (the parent has its
+        # own); a race re-checks under the lock before inserting.
+        mirror = None
+        if self.parent is not None:
+            mirror = self.parent._get_or_create(cls, name, help_text, **kwargs)
+        metric = cls(name, help_text, mirror=mirror, **kwargs)
+        with self._lock:
+            return self._metrics.setdefault(name, metric)
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames=labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, labelnames=labelnames, buckets=buckets
+        )
+
+    def register_callback(
+        self, name: str, help_text: str, callback: Callable[[], CallbackResult]
+    ) -> None:
+        """Register a gauge evaluated at scrape time (replaces a same-named one).
+
+        Replacement (rather than erroring) keeps re-created components --
+        e.g. one executor per test -- from poisoning the process registry.
+        """
+        with self._lock:
+            self._callbacks[name] = (help_text, callback)
+
+    def unregister_callback(self, name: str) -> None:
+        with self._lock:
+            self._callbacks.pop(name, None)
+
+    # -- reading ------------------------------------------------------------------
+    def _callback_samples(self) -> List[Tuple[str, str, Dict[str, str], float]]:
+        """(name, help, labels, value) rows; a failing callback contributes none."""
+        with self._lock:
+            callbacks = list(self._callbacks.items())
+        rows: List[Tuple[str, str, Dict[str, str], float]] = []
+        for name, (help_text, callback) in callbacks:
+            try:
+                result = callback()
+            except Exception:
+                continue  # observability never raises into the scrape path
+            if isinstance(result, (int, float)):
+                rows.append((name, help_text, {}, float(result)))
+            else:
+                for labels, value in result:
+                    rows.append((name, help_text, dict(labels), float(value)))
+        return rows
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-encodable view of every metric (callbacks included)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        payload: Dict[str, Any] = {}
+        for metric in metrics:
+            samples = []
+            for labels, child in metric.samples():
+                if isinstance(child, HistogramValue):
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "buckets": child.buckets(),
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            payload[metric.name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "samples": samples,
+            }
+        for name, help_text, labels, value in self._callback_samples():
+            entry = payload.setdefault(
+                name, {"type": "gauge", "help": help_text, "samples": []}
+            )
+            entry["samples"].append({"labels": labels, "value": value})
+        return payload
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: List[str] = []
+        for metric in metrics:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for labels, child in metric.samples():
+                if isinstance(child, HistogramValue):
+                    for bound, count in child.buckets().items():
+                        suffix = _label_suffix(labels, extra=f'le="{bound}"')
+                        lines.append(f"{metric.name}_bucket{suffix} {count}")
+                    base = _label_suffix(labels)
+                    lines.append(
+                        f"{metric.name}_sum{base} {_format_value(child.sum)}"
+                    )
+                    lines.append(f"{metric.name}_count{base} {child.count}")
+                else:
+                    lines.append(
+                        f"{metric.name}{_label_suffix(labels)} "
+                        f"{_format_value(child.value)}"
+                    )
+        for name, help_text, labels, value in self._callback_samples():
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{_label_suffix(labels)} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"')
+
+
+def parse_prometheus_text(text: str) -> Dict[str, List[Dict[str, Any]]]:
+    """Parse exposition text back into ``{name: [{"labels", "value"}]}``.
+
+    Used by ``repro-search top`` (scraping a live daemon) and by the
+    round-trip tests; histogram series keep their ``_bucket``/``_sum``/
+    ``_count`` suffixed names.
+    """
+    samples: Dict[str, List[Dict[str, Any]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        labels = {
+            m.group("key"): m.group("value")
+            .replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+            for m in _LABEL_RE.finditer(match.group("labels") or "")
+        }
+        raw = match.group("value")
+        try:
+            value = float(raw.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            continue
+        samples.setdefault(match.group("name"), []).append(
+            {"labels": labels, "value": value}
+        )
+    return samples
+
+
+# -- the process-global registry ------------------------------------------------------
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (the daemon's ``/metrics`` view)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry (tests); returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

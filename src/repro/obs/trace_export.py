@@ -1,0 +1,113 @@
+"""Export a run's span events as Chrome ``trace_event`` JSON.
+
+``repro-search trace <run_dir>`` reads the run's ``telemetry.jsonl``, keeps
+the ``span`` events the tracer emitted and writes the Chrome trace-event
+format (the JSON array flavour wrapped in ``{"traceEvents": [...]}``), so a
+finished run opens directly in ``chrome://tracing`` or
+https://ui.perfetto.dev.  Every span becomes one complete ("X") event;
+worker timelines get stable integer ``tid``s with ``thread_name`` metadata
+so the engine thread and each pool worker render as separate tracks.
+
+Timestamps are microseconds relative to the earliest span, which keeps the
+numbers small and the trace viewer's origin at the run start.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.engine.events import SPAN, EngineEvent
+from repro.service.events import tail_telemetry
+
+TRACE_JSON = "trace.json"
+
+# Keys of a span payload that map to dedicated trace-event fields; everything
+# else a span carries becomes a viewer-visible "args" entry.
+_SPAN_FIELDS = ("name", "cat", "ts", "dur", "tid", "span_id", "parent_id")
+
+
+def load_span_events(telemetry_path: str) -> List[EngineEvent]:
+    """The ``span`` events of one telemetry stream, oldest first."""
+    return [
+        event
+        for event in tail_telemetry(telemetry_path, follow=False)
+        if event.kind == SPAN
+    ]
+
+
+def chrome_trace(events: Iterable[EngineEvent], pid: int = 1) -> Dict[str, Any]:
+    """Convert span events into a Chrome trace-event JSON document."""
+    spans = [event for event in events if event.kind == SPAN]
+    origin = min(
+        (float(event.payload.get("ts", 0.0)) for event in spans), default=0.0
+    )
+    tids: Dict[str, int] = {}
+    trace_events: List[Dict[str, Any]] = []
+    for event in spans:
+        payload = event.payload
+        tid_name = str(payload.get("tid", "engine"))
+        tid = tids.setdefault(tid_name, len(tids) + 1)
+        args: Dict[str, Any] = {
+            key: value
+            for key, value in payload.items()
+            if key not in _SPAN_FIELDS and value is not None
+        }
+        if event.episode is not None:
+            args["episode"] = event.episode
+        if payload.get("parent_id"):
+            args["parent_span"] = payload["parent_id"]
+        trace_events.append(
+            {
+                "name": str(payload.get("name", "span")),
+                "cat": str(payload.get("cat", "engine")),
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": round((float(payload.get("ts", origin)) - origin) * 1e6, 3),
+                "dur": round(float(payload.get("dur", 0.0)) * 1e6, 3),
+                "args": args,
+            }
+        )
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": tid_name},
+        }
+        for tid_name, tid in sorted(tids.items(), key=lambda item: item[1])
+    ]
+    return {"traceEvents": metadata + trace_events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(
+    run_dir: str, out_path: Optional[str] = None
+) -> Dict[str, Any]:
+    """Write ``<run_dir>/trace.json`` (or ``out_path``); returns a summary.
+
+    Raises ``FileNotFoundError`` when the run directory has no telemetry
+    stream and ``ValueError`` when the stream holds no spans (a run produced
+    by a pre-observability engine).
+    """
+    telemetry = os.path.join(run_dir, "telemetry.jsonl")
+    if not os.path.exists(telemetry):
+        raise FileNotFoundError(f"no telemetry stream at {telemetry!r}")
+    spans = load_span_events(telemetry)
+    if not spans:
+        raise ValueError(
+            f"{telemetry!r} holds no span events (run predates the tracer?)"
+        )
+    document = chrome_trace(spans)
+    path = out_path or os.path.join(run_dir, TRACE_JSON)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+    return {
+        "path": path,
+        "spans": len(spans),
+        "threads": sum(
+            1 for entry in document["traceEvents"] if entry.get("ph") == "M"
+        ),
+    }

@@ -25,6 +25,7 @@ from repro.engine.events import (
     CONSUMER_ERROR,
     EARLY_STOPPED,
     EPISODE_FINISHED,
+    METRICS_UPDATED,
     RUN_CANCELLED,
     RUN_FINISHED,
     RUN_STARTED,
@@ -95,6 +96,17 @@ class ProgressPrinter:
                 f"acc={float(payload.get('accuracy', 0.0)):.3f}"
                 f"{cached}"
             )
+        if event.kind == METRICS_UPDATED:
+            elapsed = float(payload.get("elapsed_seconds", 0.0))
+            eps = float(payload.get("episodes_per_second", 0.0))
+            line = (
+                f"progress: {payload.get('episodes_done')} episodes in "
+                f"{elapsed:.1f}s ({eps:.2f} ep/s"
+            )
+            hit_rate = payload.get("cache_hit_rate")
+            if hit_rate is not None:
+                line += f", cache hit rate {float(hit_rate):.1%}"
+            return line + ")"
         if event.kind == CHECKPOINT_WRITTEN:
             return f"checkpoint written (next episode {payload.get('next_episode')})"
         if event.kind == EARLY_STOPPED:
@@ -299,6 +311,58 @@ def cmd_tail(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Export a run's spans as Chrome trace_event JSON (chrome://tracing)."""
+    from repro.obs.trace_export import export_chrome_trace
+
+    if os.path.isdir(args.run):
+        run_dir = args.run
+    else:
+        registry = _registry(args)
+        run_dir = registry.run_dir(args.run)
+        if not os.path.isdir(run_dir):
+            print(
+                f"error: {args.run!r} is neither a run directory nor a run id "
+                f"under {registry.root!r}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        summary = export_chrome_trace(run_dir, out_path=args.out)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"wrote {summary['path']} ({summary['spans']} spans across "
+        f"{summary['threads']} timelines); open it in chrome://tracing "
+        "or https://ui.perfetto.dev"
+    )
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a daemon's /metrics and run registry."""
+    from repro.obs.top import run_top
+
+    if not args.url:
+        print(
+            "error: top needs a daemon (--url http://HOST:PORT); it scrapes "
+            "GET /metrics, which only repro-search serve exposes",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        return run_top(
+            args.url,
+            interval=args.interval,
+            iterations=1 if args.once else None,
+            clear=not args.once,
+        )
+    except OSError as error:
+        print(f"error: cannot reach {args.url}: {error}", file=sys.stderr)
+        return 2
+
+
 # -- parser wiring -------------------------------------------------------------------
 def add_service_subparsers(subparsers: argparse._SubParsersAction) -> None:
     """Attach the run-service subcommands to the ``repro-search`` parser."""
@@ -361,6 +425,36 @@ def add_service_subparsers(subparsers: argparse._SubParsersAction) -> None:
     list_parser = subparsers.add_parser("list", help="list known runs")
     add_target_arguments(list_parser)
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="export a run's spans as Chrome trace_event JSON "
+        "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    trace.add_argument("run", help="run id or run directory path")
+    trace.add_argument(
+        "--runs-root",
+        default=None,
+        help=f"resolve run ids against this runs root (default: {DEFAULT_RUNS_ROOT!r})",
+    )
+    trace.add_argument(
+        "--out", default=None, help="output path (default: <run_dir>/trace.json)"
+    )
+
+    top = subparsers.add_parser(
+        "top", help="live terminal dashboard over a serve daemon's /metrics"
+    )
+    top.add_argument(
+        "--url",
+        default=f"http://127.0.0.1:{DEFAULT_PORT}",
+        help="daemon address to scrape",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between scrapes"
+    )
+    top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+
 
 SERVICE_COMMANDS = {
     "serve": cmd_serve,
@@ -369,4 +463,6 @@ SERVICE_COMMANDS = {
     "tail": cmd_tail,
     "cancel": cmd_cancel,
     "list": cmd_list,
+    "trace": cmd_trace,
+    "top": cmd_top,
 }

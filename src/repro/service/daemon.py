@@ -5,9 +5,10 @@ registry-backed :class:`~repro.service.local.LocalExecutor`: submissions are
 ``RunSpec`` JSON, runs queue on the executor's bounded worker-slot pool, and
 every artifact lives in the runs root, so daemon restarts lose nothing.
 
-Endpoints (all JSON)::
+Endpoints (JSON unless noted)::
 
     GET  /healthz                  liveness probe
+    GET  /metrics                  Prometheus text exposition (text/plain)
     POST /runs                     submit a RunSpec JSON body -> {"run_id"}
     GET  /runs                     every run's status, oldest first
     GET  /runs/<id>                one run's status
@@ -30,6 +31,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.api.spec import RunSpec
+from repro.obs import metrics as obs_metrics
 from repro.service import registry as reg
 from repro.service.errors import RunNotFound, RunNotReady
 from repro.service.local import LocalExecutor
@@ -59,6 +61,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _send_error_json(self, status: int, kind: str, message: str) -> None:
         self._send_json(status, {"error": {"type": kind, "message": message}})
+
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
 
     def _read_json_body(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
@@ -117,6 +127,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
     ):
         if method == "GET" and root == "healthz" and run_id is None:
             return self._get_health
+        if method == "GET" and root == "metrics" and run_id is None:
+            return self._get_metrics
         if root != "runs":
             raise _NotFoundPath()
         if method == "GET":
@@ -140,6 +152,19 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # -- endpoint implementations ---------------------------------------------------
     def _get_health(self, run_id: Optional[str], query: Dict[str, str]) -> None:
         self._send_json(200, {"ok": True, "runs_root": self.executor.registry.root})
+
+    def _get_metrics(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        """Prometheus text exposition of the process-global registry.
+
+        Engines mirror their per-run registries into the global one, so this
+        is the fleet view: every run this daemon process executed so far,
+        plus the executor's scrape-time gauges (slots, queue, runs by state).
+        """
+        self._send_text(
+            200,
+            obs_metrics.get_registry().render_prometheus(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
 
     def _post_submit(self, run_id: Optional[str], query: Dict[str, str]) -> None:
         payload = self._read_json_body()

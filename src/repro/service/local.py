@@ -36,6 +36,7 @@ from repro.api.run import (
 from repro.api.spec import RunSpec
 from repro.engine.engine import StopToken
 from repro.engine.events import EngineEvent
+from repro.obs import metrics as obs_metrics
 from repro.service import registry as reg
 from repro.service.errors import RunCancelled, RunNotFound, RunNotReady
 from repro.service.events import EventLog, tail_telemetry
@@ -86,10 +87,46 @@ class LocalExecutor:
         self._lock = threading.Lock()
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._workers: List[threading.Thread] = []
+        self._busy_slots = 0
+        self._register_metric_callbacks()
         if recover:
             if self.registry is None:
                 raise ValueError("recover=True needs a runs_root")
             self._recover_stale_runs()
+
+    def _register_metric_callbacks(self) -> None:
+        """Expose the executor's state as scrape-time gauges (repro.obs).
+
+        Callbacks are evaluated when ``/metrics`` is rendered, so they always
+        reflect the live registry/queue; registering replaces any same-named
+        callback, so the newest executor in a process owns the fleet gauges.
+        """
+        metrics = obs_metrics.get_registry()
+        metrics.register_callback(
+            "repro_service_worker_slots",
+            "Configured worker slots (0 = one thread per submission)",
+            lambda: float(self.max_workers or 0),
+        )
+        metrics.register_callback(
+            "repro_service_slots_busy",
+            "Worker slots currently executing a run",
+            lambda: float(self._busy_slots),
+        )
+        metrics.register_callback(
+            "repro_service_queue_depth",
+            "Submissions waiting for a worker slot",
+            lambda: float(self._queue.qsize()),
+        )
+        metrics.register_callback(
+            "repro_service_runs", "Known runs by state", self._runs_by_state
+        )
+
+    def _runs_by_state(self) -> List[Any]:
+        counts: Dict[str, int] = {}
+        for status in self.list_runs():
+            state = status.get("state", "unknown")
+            counts[state] = counts.get(state, 0) + 1
+        return [({"state": state}, float(count)) for state, count in sorted(counts.items())]
 
     def _recover_stale_runs(self) -> None:
         """Adopt runs a previous process left non-terminal (daemon restart).
@@ -281,6 +318,7 @@ class LocalExecutor:
             self._finalize_cancelled_before_start(run)
             return
         self._set_status(run, state=reg.RUNNING, started_at=time.time())
+        self._busy_slots += 1
         try:
             if self.registry is not None:
                 spec = self.registry.load_spec(run_id)
@@ -320,6 +358,7 @@ class LocalExecutor:
                 error=f"{type(error).__name__}: {error}",
             )
         finally:
+            self._busy_slots -= 1
             run.events.close()
             run.done.set()
             self._evict_finished_runs()

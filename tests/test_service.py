@@ -81,6 +81,7 @@ def _comparable(report_dict: dict, include_stats: bool = True) -> dict:
         "checkpoint_path",
         "spec_path",
         "checkpoints_written",
+        "metrics",  # wall-clock histograms; run-local by design
         "resumed_from",
     }
     if not include_stats:
