@@ -44,6 +44,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-search=repro.engine.cli:main",
+            "repro-lint=repro.analysis.cli:main",
         ],
     },
     classifiers=[

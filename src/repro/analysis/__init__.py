@@ -1,0 +1,54 @@
+"""``repro.analysis`` -- the ``repro-lint`` static-analysis framework.
+
+Six PRs of platform growth rest on conventions no runtime test can check
+cheaply: randomness threads explicit Generators (DET001), every spec field
+joins ``cache_key()`` or is deliberately exempt (KEY001), serde pairs are
+exact inverses and event payloads are plain JSON (SER001), ``repro.obs``
+observes but never steers (OBS001), worker-reachable global state holds a
+lock (THR001), and ``repro.nn`` derives dtypes from the policy module
+(DTY001).  This package makes those invariants machine-checked at lint
+time:
+
+* a :class:`~repro.analysis.visitor.Rule` protocol with a single-pass
+  dispatching AST visitor (:class:`~repro.analysis.visitor.RuleDriver`),
+* a project walker (:mod:`repro.analysis.project`) and a cross-module
+  import graph (:mod:`repro.analysis.imports`) for layering rules,
+* :class:`~repro.analysis.findings.Finding` records with severity /
+  rule-id / file:line, text-, JSON- and GitHub-annotation reporters,
+* inline ``# repro-lint: disable=RULE -- why`` suppressions and a
+  checked-in baseline for grandfathered findings,
+* the rule pack itself under :mod:`repro.analysis.rules`, one module per
+  invariant.
+
+Entry points: the ``repro-lint`` console script and
+``python -m repro.analysis`` (both :func:`repro.analysis.cli.main`); CI
+runs ``repro-lint src --format json`` and fails on any non-baselined
+finding.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import main
+from repro.analysis.findings import ERROR, WARNING, Finding
+from repro.analysis.imports import ImportGraph, build_import_graph
+from repro.analysis.project import ModuleInfo, Project, load_modules, module_name_for
+from repro.analysis.rules import default_rules, rule_catalog
+from repro.analysis.visitor import Rule, RuleDriver, apply_suppressions
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Baseline",
+    "Finding",
+    "ImportGraph",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "RuleDriver",
+    "apply_suppressions",
+    "build_import_graph",
+    "default_rules",
+    "load_modules",
+    "main",
+    "module_name_for",
+    "rule_catalog",
+]

@@ -1,0 +1,124 @@
+"""Checked-in baseline: grandfathered findings that do not fail the build.
+
+The baseline file (``.repro-lint-baseline.json`` at the repo root) holds
+findings that predate a rule and are accepted as-is; CI fails only on
+findings *not* in the baseline, so a new rule can land enforcing without a
+flag-day cleanup.  Entries match on ``(rule, path, message)`` -- no line
+numbers -- so unrelated edits do not invalidate them, and every entry
+carries a mandatory ``justification`` string so the debt stays reviewable.
+
+``repro-lint --write-baseline`` regenerates the file from the current
+findings (filling ``justification`` with a TODO marker for new entries);
+stale entries (nothing matches them any more) are reported so the baseline
+only ever shrinks by deliberate edits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+TODO_JUSTIFICATION = "TODO: justify or fix this grandfathered finding"
+
+BaselineKey = Tuple[str, str, str]
+
+
+class Baseline:
+    """The set of grandfathered findings, keyed by (rule, path, message)."""
+
+    def __init__(self, entries: Dict[BaselineKey, str]):
+        self.entries = dict(entries)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ValueError(f"baseline file {path!r} is not a baseline document")
+        version = int(payload.get("version", BASELINE_VERSION))
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version} in {path!r} "
+                f"(this build reads version {BASELINE_VERSION})"
+            )
+        entries: Dict[BaselineKey, str] = {}
+        for entry in payload["findings"]:
+            key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+            entries[key] = str(entry.get("justification", ""))
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        payload: Dict[str, Any] = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {
+                    "rule": rule,
+                    "path": file_path,
+                    "message": message,
+                    "justification": justification or TODO_JUSTIFICATION,
+                }
+                for (rule, file_path, message), justification in sorted(
+                    self.entries.items()
+                )
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # -- matching -----------------------------------------------------------------
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineKey]]:
+        """(new, baselined, stale-entries) for one lint run."""
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        seen: set = set()
+        for finding in findings:
+            key = finding.baseline_key
+            if key in self.entries:
+                baselined.append(finding)
+                seen.add(key)
+            else:
+                new.append(finding)
+        stale = sorted(set(self.entries) - seen)
+        return new, baselined, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], previous: "Baseline" = None
+    ) -> "Baseline":
+        """A baseline covering ``findings``, keeping prior justifications."""
+        prior = previous.entries if previous is not None else {}
+        return cls(
+            {
+                finding.baseline_key: prior.get(finding.baseline_key, "")
+                for finding in findings
+            }
+        )
+
+
+def find_default_baseline(start_dir: str = ".") -> str:
+    """The nearest ``.repro-lint-baseline.json`` walking up from ``start_dir``.
+
+    Returns the conventional path in ``start_dir`` when none exists yet (so
+    ``--write-baseline`` has somewhere to write).
+    """
+    current = os.path.abspath(start_dir)
+    while True:
+        candidate = os.path.join(current, DEFAULT_BASELINE_NAME)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return os.path.join(os.path.abspath(start_dir), DEFAULT_BASELINE_NAME)
+        current = parent

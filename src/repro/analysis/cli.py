@@ -1,0 +1,188 @@
+"""The ``repro-lint`` command line (also ``python -m repro.analysis``).
+
+Typical invocations::
+
+    repro-lint src                        # lint, text report, exit 1 on findings
+    repro-lint src --format json          # CI artifact / annotation input
+    repro-lint src --rules DET001,KEY001  # a subset of the pack
+    repro-lint src --write-baseline       # grandfather the current findings
+    repro-lint --list-rules               # the rule reference table
+
+Exit codes: 0 clean (every finding suppressed or baselined), 1 findings,
+2 usage/configuration errors.  A stale baseline entry (nothing matches it
+any more) is also a failure -- the baseline may only shrink deliberately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    find_default_baseline,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.project import load_modules
+from repro.analysis.reporting import FORMATS, RENDERERS
+from repro.analysis.rules import default_rules, rule_catalog
+from repro.analysis.visitor import RuleDriver, apply_suppressions
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST invariant analyzer for the repro codebase: determinism, "
+            "cache-key hygiene, serde contracts, obs layering, concurrency "
+            "and dtype policy."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="report format (default: text; json is the CI artifact)",
+    )
+    parser.add_argument(
+        "--output",
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: the full pack)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help=(
+            f"baseline file (default: the nearest {DEFAULT_BASELINE_NAME} "
+            "walking up from the current directory)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule reference (id, severity, invariant) and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    catalog = rule_catalog()
+    severities = {
+        rule.rule_id: rule.severity for rule in default_rules()
+    }
+    width = max(len(rule_id) for rule_id in catalog)
+    lines = [
+        f"{rule_id:<{width}}  {severities[rule_id]:<8}  {description}"
+        for rule_id, description in sorted(catalog.items())
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        only = (
+            [rule_id.strip() for rule_id in args.rules.split(",") if rule_id.strip()]
+            if args.rules
+            else None
+        )
+        rules = default_rules(only)
+    except ValueError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    parse_errors: List[Finding] = []
+    try:
+        modules = load_modules(args.paths, errors=parse_errors)
+    except FileNotFoundError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    findings = RuleDriver(rules).run(modules)
+    findings = sorted(findings + parse_errors, key=Finding.sort_key)
+    kept, suppressed = apply_suppressions(findings, modules)
+
+    baseline_path = args.baseline or find_default_baseline()
+    baseline = Baseline.empty()
+    if not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except FileNotFoundError:
+            pass
+        except ValueError as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
+
+    if args.write_baseline:
+        previous = Baseline.empty()
+        try:
+            previous = Baseline.load(baseline_path)
+        except (FileNotFoundError, ValueError):
+            pass
+        Baseline.from_findings(kept, previous=previous).save(baseline_path)
+        print(
+            f"repro-lint: wrote {len(kept)} baseline entr"
+            f"{'y' if len(kept) == 1 else 'ies'} to {baseline_path}"
+        )
+        return 0
+
+    new, baselined, stale = baseline.split(kept)
+
+    report = RENDERERS[args.format](new, suppressed, baselined, len(modules))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        if args.format != "text":
+            # Keep the terminal summary even when the artifact goes to a file.
+            print(RENDERERS["text"](new, suppressed, baselined, len(modules)))
+    else:
+        print(report)
+
+    exit_code = 0
+    if new:
+        exit_code = 1
+    if stale:
+        for rule_id, path, message in stale:
+            print(
+                f"repro-lint: stale baseline entry (nothing matches it): "
+                f"{rule_id} {path}: {message}",
+                file=sys.stderr,
+            )
+        print(
+            f"repro-lint: {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'}; rerun with "
+            "--write-baseline after reviewing",
+            file=sys.stderr,
+        )
+        exit_code = max(exit_code, 1)
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Finding records: what a rule reports and how findings are identified.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+carry a *baseline key* -- ``(rule, path, message)``, deliberately excluding
+the line number -- so a grandfathered finding keeps matching its baseline
+entry while unrelated edits move it around the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+# Severities, ordered: errors gate CI, warnings are heuristics that still
+# fail the build unless suppressed or baselined (the linter ships enforcing).
+ERROR = "error"
+WARNING = "warning"
+SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: str
+    path: str  # as given to the walker (repo-relative in CI)
+    line: int  # 1-based
+    col: int  # 0-based, ast convention
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-free identity used to match baseline entries across edits."""
+        return (self.rule_id, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        return cls(
+            rule_id=str(payload["rule"]),
+            severity=str(payload["severity"]),
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload.get("col", 0)),
+            message=str(payload["message"]),
+        )
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line:col: SEV RULE message``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity} {self.rule_id} {self.message}"
+        )

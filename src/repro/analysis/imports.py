@@ -1,0 +1,130 @@
+"""Cross-module import graph over the analyzed project.
+
+The graph keeps only edges *into the analyzed package* (``repro.*`` by
+default): third-party and stdlib imports are recorded per module as plain
+top-level names (so rules can ask "does this module import ``random``?")
+but do not become graph nodes.  ``from repro.a import b`` resolves ``b``
+against the known module set -- if ``repro.a.b`` is an analyzed module the
+edge targets it, otherwise the edge targets ``repro.a`` (``b`` is then a
+name defined in it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.project import PACKAGE_ANCHOR, ModuleInfo
+
+
+class ImportGraph:
+    """Directed imports between analyzed modules, plus external import sets."""
+
+    def __init__(self, modules: Sequence[ModuleInfo], anchor: str = PACKAGE_ANCHOR):
+        self.anchor = anchor
+        self._known: Set[str] = {module.name for module in modules}
+        # module name -> analyzed modules it imports (directly)
+        self.edges: Dict[str, Set[str]] = {module.name: set() for module in modules}
+        # module name -> top-level external names it imports ("random", "time")
+        self.external: Dict[str, Set[str]] = {module.name: set() for module in modules}
+        # module name -> [(imported module, lineno)] for located findings
+        self.edge_sites: Dict[str, List[Tuple[str, int]]] = {
+            module.name: [] for module in modules
+        }
+        for module in modules:
+            self._scan(module)
+
+    # -- construction ----------------------------------------------------------------
+    def _resolve(self, dotted: str) -> str:
+        """Collapse a dotted import target onto a known module (longest prefix)."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self._known:
+                return candidate
+        return dotted
+
+    def _add_edge(self, module: ModuleInfo, dotted: str, lineno: int) -> None:
+        if dotted == self.anchor or dotted.startswith(self.anchor + "."):
+            target = self._resolve(dotted)
+            if target != module.name:
+                self.edges[module.name].add(target)
+                self.edge_sites[module.name].append((target, lineno))
+        else:
+            self.external[module.name].add(dotted.split(".")[0])
+
+    def _scan(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._add_edge(module, alias.name, node.lineno)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: resolve against this module
+                    base_parts = module.name.split(".")
+                    # level=1 strips the module's own name, each extra level
+                    # strips one more package.
+                    base_parts = base_parts[: len(base_parts) - node.level]
+                    base = ".".join(base_parts)
+                elif node.module:
+                    base = node.module
+                else:
+                    continue
+                if not base:
+                    continue
+                if node.module is None and node.level:
+                    # "from . import x": each name is a candidate submodule.
+                    for alias in node.names:
+                        self._add_edge(module, f"{base}.{alias.name}", node.lineno)
+                    continue
+                if base == self.anchor or base.startswith(self.anchor + "."):
+                    for alias in node.names:
+                        self._add_edge(module, f"{base}.{alias.name}", node.lineno)
+                else:
+                    self._add_edge(module, base, node.lineno)
+
+    # -- queries ---------------------------------------------------------------------
+    def imports_of(self, name: str) -> Set[str]:
+        """Analyzed modules ``name`` imports directly."""
+        return set(self.edges.get(name, ()))
+
+    def imports_external(self, name: str, top_level: str) -> bool:
+        """True when module ``name`` imports the external top-level package."""
+        return top_level in self.external.get(name, ())
+
+    def reachable_from(self, *roots: str) -> Set[str]:
+        """Modules transitively imported by ``roots`` (roots included)."""
+        seen: Set[str] = set()
+        stack = [root for root in roots if root in self.edges]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.edges.get(current, ()))
+        return seen
+
+    def importers_of(self, name: str) -> Set[str]:
+        """Modules with a direct edge to ``name``."""
+        return {source for source, targets in self.edges.items() if name in targets}
+
+    def import_chain(self, source: str, target: str) -> List[str]:
+        """One shortest ``source -> ... -> target`` path, empty when unreachable."""
+        if source not in self.edges:
+            return []
+        frontier = [[source]]
+        seen = {source}
+        while frontier:
+            next_frontier: List[List[str]] = []
+            for path in frontier:
+                for neighbour in sorted(self.edges.get(path[-1], ())):
+                    if neighbour == target:
+                        return path + [neighbour]
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        next_frontier.append(path + [neighbour])
+            frontier = next_frontier
+        return []
+
+
+def build_import_graph(modules: Iterable[ModuleInfo]) -> ImportGraph:
+    return ImportGraph(list(modules))

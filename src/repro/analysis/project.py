@@ -1,0 +1,135 @@
+"""Project walker: source files -> parsed, named modules.
+
+The walker accepts any mix of files and directories, parses each ``.py``
+file once, and wraps it in a :class:`ModuleInfo` carrying the dotted module
+name the import-graph and the path-scoped rules key on.  Module names are
+derived from the path by anchoring at the last ``repro`` directory segment
+(``src/repro/obs/top.py`` -> ``repro.obs.top``), which also gives fixture
+trees in tests the same names as the real package without any installation.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.suppressions import SuppressionIndex
+
+# Rule id reserved for files the walker itself cannot analyze.
+PARSE_RULE_ID = "LINT000"
+
+# Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+# The package anchor used to derive dotted module names from paths.
+PACKAGE_ANCHOR = "repro"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: str  # as reported in findings
+    name: str  # dotted module name, e.g. "repro.obs.metrics"
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+    suppressions: SuppressionIndex = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+        if self.suppressions is None:
+            self.suppressions = SuppressionIndex(self.lines)
+
+    def in_package(self, prefix: str) -> bool:
+        """True when this module is ``prefix`` or lives under it."""
+        return self.name == prefix or self.name.startswith(prefix + ".")
+
+
+def module_name_for(path: str, anchor: str = PACKAGE_ANCHOR) -> str:
+    """Dotted module name of ``path``, anchored at the last ``anchor`` dir.
+
+    A path with no ``anchor`` segment falls back to its bare stem, so rules
+    that filter by package prefix simply never match it.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    stem = parts[-1]
+    if stem.endswith(".py"):
+        stem = stem[: -len(".py")]
+    anchor_index: Optional[int] = None
+    for index, part in enumerate(parts[:-1]):
+        if part == anchor:
+            anchor_index = index
+    if anchor_index is None:
+        return anchor if stem == anchor else stem
+    dotted = parts[anchor_index:-1]
+    if stem != "__init__":
+        dotted.append(stem)
+    return ".".join(dotted)
+
+
+def iter_source_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def load_modules(
+    paths: Sequence[str], errors: Optional[List[Finding]] = None
+) -> List[ModuleInfo]:
+    """Parse every source file; unparsable files become ``LINT000`` findings."""
+    modules: List[ModuleInfo] = []
+    for path in iter_source_files(paths):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            if errors is not None:
+                line = getattr(error, "lineno", None) or 1
+                errors.append(
+                    Finding(
+                        rule_id=PARSE_RULE_ID,
+                        severity=ERROR,
+                        path=path,
+                        line=int(line),
+                        col=0,
+                        message=f"cannot analyze file: {error}",
+                    )
+                )
+            continue
+        modules.append(
+            ModuleInfo(path=path, name=module_name_for(path), tree=tree, source=source)
+        )
+    return modules
+
+
+@dataclass
+class Project:
+    """Everything a project-level rule can see (modules + import graph)."""
+
+    modules: List[ModuleInfo]
+    graph: "ImportGraph"  # noqa: F821  (repro.analysis.imports; avoids a cycle)
+
+    def module(self, name: str) -> Optional[ModuleInfo]:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        return None
+
+    def iter_package(self, prefix: str) -> Iterable[ModuleInfo]:
+        return (m for m in self.modules if m.in_package(prefix))

@@ -1,0 +1,110 @@
+"""Reporters: human-readable text, machine-readable JSON, CI annotations.
+
+* ``text`` -- grouped by file, one finding per line, summary footer.
+* ``json`` -- one document with a summary block and every finding
+  (including suppressed/baselined ones, flagged as such) -- the CI artifact.
+* ``github`` -- GitHub Actions workflow commands (``::error file=...``),
+  which the Actions runner turns into inline PR annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.findings import ERROR, Finding
+
+REPORT_VERSION = 1
+FORMATS = ("text", "json", "github")
+
+
+def _summary(
+    new: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    baselined: Sequence[Finding],
+    files_analyzed: int,
+) -> Dict[str, Any]:
+    return {
+        "files_analyzed": files_analyzed,
+        "findings": len(new),
+        "errors": sum(1 for f in new if f.severity == ERROR),
+        "warnings": sum(1 for f in new if f.severity != ERROR),
+        "suppressed": len(suppressed),
+        "baselined": len(baselined),
+    }
+
+
+def render_text(
+    new: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    baselined: Sequence[Finding],
+    files_analyzed: int,
+) -> str:
+    lines: List[str] = []
+    current_path = None
+    for finding in new:
+        if finding.path != current_path:
+            if lines:
+                lines.append("")
+            lines.append(finding.path)
+            current_path = finding.path
+        lines.append(
+            f"  {finding.line}:{finding.col}: {finding.severity} "
+            f"{finding.rule_id} {finding.message}"
+        )
+    if lines:
+        lines.append("")
+    summary = _summary(new, suppressed, baselined, files_analyzed)
+    verdict = "clean" if not new else f"{summary['findings']} finding(s)"
+    lines.append(
+        f"repro-lint: {verdict} in {files_analyzed} file(s) "
+        f"({summary['errors']} error(s), {summary['warnings']} warning(s), "
+        f"{summary['suppressed']} suppressed, {summary['baselined']} baselined)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    baselined: Sequence[Finding],
+    files_analyzed: int,
+) -> str:
+    def rows(findings: Sequence[Finding], status: str) -> List[Dict[str, Any]]:
+        return [dict(f.to_dict(), status=status) for f in findings]
+
+    document = {
+        "version": REPORT_VERSION,
+        "summary": _summary(new, suppressed, baselined, files_analyzed),
+        "findings": (
+            rows(new, "new")
+            + rows(baselined, "baselined")
+            + rows(suppressed, "suppressed")
+        ),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_github(
+    new: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    baselined: Sequence[Finding],
+    files_analyzed: int,
+) -> str:
+    lines = [
+        (
+            f"::{'error' if f.severity == ERROR else 'warning'} "
+            f"file={f.path},line={f.line},col={f.col},"
+            f"title={f.rule_id}::{f.message}"
+        )
+        for f in new
+    ]
+    summary = _summary(new, suppressed, baselined, files_analyzed)
+    lines.append(
+        f"repro-lint: {summary['findings']} finding(s) in "
+        f"{files_analyzed} file(s)"
+    )
+    return "\n".join(lines)
+
+
+RENDERERS = {"text": render_text, "json": render_json, "github": render_github}

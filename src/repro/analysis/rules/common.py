@@ -1,0 +1,69 @@
+"""Shared AST helpers for the rule pack: alias-aware call-target resolution.
+
+``import numpy as np`` / ``from datetime import datetime`` style imports
+mean the same call spells differently across modules; rules compare against
+*canonical* dotted targets (``numpy.random.seed``, ``datetime.datetime.now``)
+by resolving the first segment of the spelled name through the module's
+import aliases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+AliasMap = Dict[str, str]  # local name -> canonical dotted origin
+
+
+def collect_import_aliases(tree: ast.Module) -> AliasMap:
+    """Map every imported local name to its canonical dotted origin.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from datetime import datetime`` -> ``{"datetime": "datetime.datetime"}``;
+    ``import time`` -> ``{"time": "time"}``.  Relative imports are skipped
+    (they never target stdlib/numpy, which is all the rules resolve).
+    """
+    aliases: AliasMap = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def spelled_name(node: ast.AST) -> Optional[str]:
+    """Render a ``Name``/``Attribute`` chain as spelled (``np.random.seed``)."""
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def canonical_name(node: ast.AST, aliases: AliasMap) -> Optional[str]:
+    """The canonical dotted target of a name chain, alias-resolved.
+
+    Returns None for chains not rooted in an import (``rng.random()`` where
+    ``rng`` is a local variable resolves to nothing -- exactly right: calls
+    on an explicit Generator are the sanctioned idiom).
+    """
+    spelled = spelled_name(node)
+    if spelled is None:
+        return None
+    head, _, rest = spelled.partition(".")
+    origin = aliases.get(head)
+    if origin is None:
+        return None
+    return f"{origin}.{rest}" if rest else origin

@@ -1,0 +1,205 @@
+"""THR001 -- unlocked module-global mutation on concurrency-reachable paths.
+
+The engine evaluates waves on thread/process pools and the run service
+executes runs on daemon worker threads, so any module transitively imported
+from those entry points can have its functions called concurrently.  This
+heuristic, warn-level rule flags *module-level mutable state* that such a
+function mutates without holding a lock:
+
+* rebinding a module global (``global X`` + assignment),
+* mutating a module-level container in place (``X.append/update/...``,
+  ``X[k] = v``).
+
+A mutation lexically inside any ``with`` block is treated as locked (the
+project idiom is ``with self._lock:`` / ``with _LOCK:``); everything else
+is reported.  Entry points default to the worker-pool and run-service
+modules and the reachable set is computed on the project import graph, so
+a helper module two imports away from the pool is still covered.
+
+The rule is deliberately a heuristic: it cannot see cross-process isolation
+or benign races (an atomic flag flip under the GIL), which is why it warns
+rather than errors and why benign sites carry inline suppressions with the
+reasoning spelled out.
+
+First-run verification note (PR 7): the rule was run over the whole tree
+and surfaced ten sites -- ``repro.obs.metrics.set_enabled`` /
+``set_registry``, ``repro.engine.workers._init_process_worker``,
+``repro.nn.trainer._trainer_instruments``,
+``repro.nn.dtype.set_default_dtype``,
+``repro.engine.engine.set_default_engine_config``,
+``repro.api.registry._ensure_builtins`` / ``register_strategy`` /
+``unregister_strategy`` and ``repro.zoo.registry.register_architecture``.
+Each was audited: all are single-name rebinds or dict stores that are
+atomic under the GIL with last-write-wins semantics (caches, kill
+switches, policy swaps and registrations called from the driving thread)
+or per-worker-process initialisation that never races by construction.
+Notably ``repro.nn.functional.einsum_cached`` was *not* flagged -- its
+path-cache store correctly sits inside ``with _EINSUM_LOCK:``.  No real
+locking bug surfaced; every site now carries an inline suppression
+stating its reasoning, so any *new* unlocked mutation fails the lint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.findings import WARNING, Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.visitor import Rule, ancestors
+
+# Modules whose functions run on (or dispatch to) concurrent workers.
+ENTRY_MODULES: Tuple[str, ...] = (
+    "repro.engine.workers",
+    "repro.service.local",
+    "repro.service.daemon",
+)
+
+# In-place mutators of the builtin containers.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "setdefault",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    """Names assigned at module top level (the rule's notion of global state)."""
+    names: Set[str] = set()
+    for statement in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, (ast.AnnAssign, ast.AugAssign)):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                names.update(
+                    element.id
+                    for element in target.elts
+                    if isinstance(element, ast.Name)
+                )
+    return names
+
+
+def _inside_with(node: ast.AST, function: ast.AST) -> bool:
+    """True when ``node`` sits inside a ``with`` block within ``function``."""
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            return True
+        if ancestor is function:
+            return False
+    return False
+
+
+class ConcurrencyRule(Rule):
+    """THR001: unlocked global mutation on worker-reachable paths (heuristic)."""
+
+    rule_id = "THR001"
+    severity = WARNING
+    description = (
+        "module-level mutable state mutated without a lock in code reachable "
+        "from worker-pool/daemon entry points (heuristic)"
+    )
+    interests = (ast.Module,)
+
+    def __init__(self, entry_modules: Tuple[str, ...] = ENTRY_MODULES):
+        self.entry_modules = entry_modules
+        # (module, finding) candidates, filtered by reachability at the end.
+        self._candidates: List[Tuple[str, Finding]] = []
+
+    def visit(self, node: ast.AST, module: ModuleInfo) -> Iterable[Finding]:
+        assert isinstance(node, ast.Module)
+        module_names = _module_level_names(node)
+        if not module_names:
+            return ()
+        for function in ast.walk(node):
+            if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared_global: Set[str] = set()
+            for statement in self._own_nodes(function):
+                if isinstance(statement, ast.Global):
+                    declared_global.update(statement.names)
+            for inner in self._own_nodes(function):
+                name = self._mutated_global(inner, module_names, declared_global)
+                if name is None:
+                    continue
+                if _inside_with(inner, function):
+                    continue
+                self._candidates.append(
+                    (
+                        module.name,
+                        self.finding(
+                            module,
+                            inner,
+                            f"{function.name}() mutates module-level state "
+                            f"{name!r} without holding a lock; it is "
+                            "reachable from concurrent worker/daemon entry "
+                            "points -- guard it or suppress with the "
+                            "reasoning spelled out",
+                        ),
+                    )
+                )
+        return ()
+
+    @staticmethod
+    def _own_nodes(function: ast.AST) -> Iterable[ast.AST]:
+        """The function's nodes excluding nested function bodies.
+
+        Each mutation is attributed to its innermost enclosing function
+        only, so a closure is not double-reported against its parent.
+        """
+        stack = list(ast.iter_child_nodes(function))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _mutated_global(
+        self, node: ast.AST, module_names: Set[str], declared_global: Set[str]
+    ):
+        """The module-global name this statement mutates, or None."""
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in declared_global:
+                    return target.id
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in module_names
+                ):
+                    return target.value.id
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_names
+            ):
+                return func.value.id
+        return None
+
+    def finish_project(self, project: Project) -> Iterable[Finding]:
+        reachable = project.graph.reachable_from(*self.entry_modules)
+        for module_name, finding in self._candidates:
+            if module_name in reachable:
+                yield finding
+        self._candidates = []

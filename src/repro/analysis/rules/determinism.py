@@ -1,0 +1,151 @@
+"""DET001 -- no legacy global-state RNG or wall-clock in deterministic code.
+
+Bit-for-bit checkpoint/resume (and the content-addressed evaluation cache)
+requires every random draw to flow through an explicitly threaded
+``numpy.random.Generator`` (see :mod:`repro.utils.rng`) and every result to
+be independent of when it was computed.  This rule bans:
+
+* the legacy numpy global-state API (``np.random.seed/rand/choice/...``) --
+  anything under ``numpy.random`` except the Generator-construction entry
+  points (``default_rng``, ``Generator``, bit generators, ``SeedSequence``),
+* the stdlib ``random`` module (its module-level functions *and*
+  ``random.Random`` instances -- the project idiom is numpy Generators),
+* wall-clock reads whose value could leak into results: ``time.time()``,
+  ``datetime.now/utcnow/today()``, ``date.today()``.  Monotonic duration
+  clocks (``time.perf_counter``, ``time.monotonic``) are fine: they measure
+  how long things took, which telemetry reports but results never contain.
+
+Wall-clock calls are allowed in the modules whose *job* is timestamps --
+the observability layer and the run-service lifecycle records (see
+``WALLCLOCK_ALLOWED_PREFIXES``).  Anything else needs an inline
+``# repro-lint: disable=DET001 -- why`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Tuple
+
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.project import ModuleInfo
+from repro.analysis.rules.common import AliasMap, canonical_name, collect_import_aliases
+from repro.analysis.visitor import Rule
+
+# numpy.random attributes that *construct* seeded generators (allowed).
+GENERATOR_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
+
+# Canonical wall-clock call targets whose return value is nondeterministic.
+WALLCLOCK_TARGETS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+# Module-name prefixes where wall-clock timestamps are the module's job:
+# repro.obs stamps spans/events, repro.service stamps lifecycle records
+# (created_at/finished_at in status.json).  Neither feeds a computation.
+WALLCLOCK_ALLOWED_PREFIXES: Tuple[str, ...] = ("repro.obs", "repro.service")
+
+# Module-name prefixes exempt from the RNG ban.  Empty on purpose: even
+# repro.utils.rng only *constructs* Generators, which is already allowed.
+RNG_ALLOWED_PREFIXES: Tuple[str, ...] = ()
+
+
+def classify_rng_call(canonical: Optional[str]) -> Optional[str]:
+    """A violation message for a canonical call target, or None if clean.
+
+    Shared with OBS001, which bans RNG inside ``repro.obs`` regardless of
+    this rule's allowlist.
+    """
+    if canonical is None:
+        return None
+    if canonical.startswith("numpy.random."):
+        leaf = canonical.rsplit(".", 1)[1]
+        if leaf not in GENERATOR_CONSTRUCTORS:
+            return (
+                f"call to legacy global-state RNG {canonical!r}; thread an "
+                "explicit numpy.random.Generator (repro.utils.rng.new_rng) "
+                "instead"
+            )
+        return None
+    if canonical == "random" or canonical.startswith("random."):
+        return (
+            f"call into the stdlib 'random' module ({canonical!r}); the "
+            "project threads explicit numpy.random.Generator streams"
+        )
+    return None
+
+
+def classify_wallclock_call(canonical: Optional[str]) -> Optional[str]:
+    """A violation message for a wall-clock call target, or None if clean."""
+    if canonical in WALLCLOCK_TARGETS:
+        return (
+            f"wall-clock read {canonical!r} in deterministic code; results "
+            "must not depend on when they were computed (use "
+            "time.perf_counter for durations, or move timestamps to the "
+            "obs/service layers)"
+        )
+    return None
+
+
+def _allowed(module_name: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+class DeterminismRule(Rule):
+    """DET001: ban global-state RNG and wall-clock reads (see module docstring)."""
+
+    rule_id = "DET001"
+    severity = ERROR
+    description = (
+        "no legacy global-state RNG (np.random.*, random.*) or wall-clock "
+        "(time.time, datetime.now) outside the obs/service allowlist"
+    )
+    interests = (ast.Call,)
+
+    def __init__(
+        self,
+        wallclock_allowed: Tuple[str, ...] = WALLCLOCK_ALLOWED_PREFIXES,
+        rng_allowed: Tuple[str, ...] = RNG_ALLOWED_PREFIXES,
+    ):
+        self.wallclock_allowed = wallclock_allowed
+        self.rng_allowed = rng_allowed
+        self._aliases: AliasMap = {}
+
+    def start_module(self, module: ModuleInfo) -> None:
+        self._aliases = collect_import_aliases(module.tree)
+
+    def visit(self, node: ast.AST, module: ModuleInfo) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        canonical = canonical_name(node.func, self._aliases)
+        if canonical is None:
+            return
+        if not _allowed(module.name, self.rng_allowed):
+            message = classify_rng_call(canonical)
+            if message is not None:
+                yield self.finding(module, node, message)
+                return
+        if not _allowed(module.name, self.wallclock_allowed):
+            message = classify_wallclock_call(canonical)
+            if message is not None:
+                yield self.finding(module, node, message)

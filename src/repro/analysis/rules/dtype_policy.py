@@ -1,0 +1,81 @@
+"""DTY001 -- no bare float dtype literals in the NN hot paths.
+
+PR 4 made precision a *policy*: :mod:`repro.nn.dtype` is the single source
+of truth for what dtype freshly created NN state uses (float64 = bit-for-bit
+seed parity, float32 = the fast path), and every kernel derives its dtype
+from its inputs or from ``resolve_dtype()``.  A bare ``np.float32`` /
+``np.float64`` used to *construct or cast* state inside ``repro.nn``
+silently pins one code path to one precision and splits the stack.
+
+The rule flags ``np.float32``/``np.float64`` attribute references in
+``repro.nn`` modules **except**:
+
+* the policy module itself (``repro.nn.dtype``), which must name concrete
+  dtypes to define the policy,
+* comparisons (``x.dtype == np.float32``) -- *checking* a dtype to pick a
+  fast path is reading the policy, not setting it.
+
+First-run verification note (PR 7): the prototype found zero violations in
+``repro.nn`` -- the only literal in the package hot paths is the float32
+stride-1 fast-path *comparison* in ``repro.nn.layers.conv``, which is
+exactly the sanctioned read-only form.  The package is verified clean; the
+rule exists so it stays that way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from repro.analysis.findings import WARNING, Finding
+from repro.analysis.project import ModuleInfo
+from repro.analysis.rules.common import canonical_name, collect_import_aliases
+from repro.analysis.visitor import Rule, ancestors
+
+NN_PACKAGE = "repro.nn"
+POLICY_MODULE = "repro.nn.dtype"
+
+DTYPE_LITERALS = frozenset({"numpy.float32", "numpy.float64"})
+
+
+class DtypePolicyRule(Rule):
+    """DTY001: bare np.float32/np.float64 in repro.nn (see module docstring)."""
+
+    rule_id = "DTY001"
+    severity = WARNING
+    description = (
+        "bare np.float32/np.float64 literals in repro.nn must go through "
+        "the repro.nn.dtype policy (comparisons are fine)"
+    )
+    interests = (ast.Attribute,)
+
+    def __init__(
+        self, package: str = NN_PACKAGE, policy_module: str = POLICY_MODULE
+    ):
+        self.package = package
+        self.policy_module = policy_module
+        self._aliases = {}
+
+    def start_module(self, module: ModuleInfo) -> None:
+        self._aliases = collect_import_aliases(module.tree)
+
+    def visit(self, node: ast.AST, module: ModuleInfo) -> Iterable[Finding]:
+        assert isinstance(node, ast.Attribute)
+        if not module.in_package(self.package) or module.name == self.policy_module:
+            return
+        canonical = canonical_name(node, self._aliases)
+        if canonical not in DTYPE_LITERALS:
+            return
+        for ancestor in ancestors(node):
+            if isinstance(ancestor, ast.Compare):
+                return  # dtype *check* (fast-path dispatch), not construction
+            if isinstance(ancestor, (ast.stmt,)):
+                break
+        leaf = canonical.rsplit(".", 1)[1]
+        yield self.finding(
+            module,
+            node,
+            f"bare np.{leaf} literal in {module.name}; derive the dtype from "
+            "the input array or repro.nn.dtype.resolve_dtype() so the "
+            "precision policy stays in one place",
+        )

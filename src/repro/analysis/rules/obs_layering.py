@@ -1,0 +1,185 @@
+"""OBS001 -- observability observes, it never steers.
+
+``repro.obs`` exists to *watch* runs: the platform invariant (PR 6) is that
+an instrumented float64 run is bit-for-bit the uninstrumented run, and that
+no fingerprint ever depends on whether observability was enabled.  Four
+checks enforce the layering from both sides:
+
+1. **No randomness in obs** -- modules under ``repro.obs`` must not call
+   any RNG (global-state *or* Generator construction): a layer that draws
+   randomness can perturb seeded streams.
+2. **Obs never imports fingerprint helpers** -- modules under ``repro.obs``
+   must not import ``repro.utils.fingerprint`` (or the evaluation cache):
+   observability has no business computing cache keys.
+3. **Fingerprint core never reaches obs** (import-graph, transitive) --
+   nothing under ``repro.obs`` may be reachable from the fingerprint core
+   (``repro.utils.fingerprint``/``repro.utils.serialization``), so a cache
+   key can never even accidentally observe instrumentation state.
+4. **Fingerprint functions never touch obs names** -- a function named
+   ``cache_key``/``context_key``/``_compute_context_key`` must not
+   reference any name its module bound from a ``repro.obs`` import.  This
+   is deliberately function-grained: modules like the engine legitimately
+   *instrument themselves* with obs metrics while their fingerprint methods
+   stay obs-free.
+
+First-run verification note (PR 7): check 4 was prototyped against
+``repro.engine.engine._compute_context_key`` (a module that imports
+``repro.obs.metrics`` heavily) and ``repro.api.spec.RunSpec.cache_key`` --
+both verified clean: no obs-bound name is referenced on any fingerprint
+path in the current tree, so the rule ships with zero baseline entries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.rules.common import AliasMap, canonical_name, collect_import_aliases
+from repro.analysis.rules.determinism import classify_rng_call
+from repro.analysis.visitor import Rule
+
+OBS_PACKAGE = "repro.obs"
+
+# Modules the obs layer must not import, even indirectly through a re-export.
+FORBIDDEN_OBS_IMPORTS: Tuple[str, ...] = (
+    "repro.utils.fingerprint",
+    "repro.engine.cache",
+)
+
+# The fingerprint core: modules whose transitive imports must stay obs-free.
+FINGERPRINT_CORE: Tuple[str, ...] = (
+    "repro.utils.fingerprint",
+    "repro.utils.serialization",
+)
+
+# Functions that compute fingerprints, wherever they are defined.
+FINGERPRINT_FUNCTIONS = frozenset(
+    {"cache_key", "context_key", "_compute_context_key"}
+)
+
+
+def _in_obs(module: ModuleInfo) -> bool:
+    return module.in_package(OBS_PACKAGE)
+
+
+class ObsLayeringRule(Rule):
+    """OBS001: the obs layer's non-steering contract (see module docstring)."""
+
+    rule_id = "OBS001"
+    severity = ERROR
+    description = (
+        "repro.obs must not draw randomness or import fingerprint helpers, "
+        "and fingerprint code paths must not touch repro.obs"
+    )
+    interests = (ast.Call, ast.Import, ast.ImportFrom, ast.FunctionDef)
+
+    def __init__(
+        self,
+        forbidden_obs_imports: Tuple[str, ...] = FORBIDDEN_OBS_IMPORTS,
+        fingerprint_core: Tuple[str, ...] = FINGERPRINT_CORE,
+    ):
+        self.forbidden_obs_imports = forbidden_obs_imports
+        self.fingerprint_core = fingerprint_core
+        self._aliases: AliasMap = {}
+        self._obs_bound: Dict[str, str] = {}  # local name -> obs origin
+
+    def start_module(self, module: ModuleInfo) -> None:
+        self._aliases = collect_import_aliases(module.tree)
+        self._obs_bound = {
+            local: origin
+            for local, origin in self._aliases.items()
+            if origin == OBS_PACKAGE or origin.startswith(OBS_PACKAGE + ".")
+        }
+
+    # -- per-node checks --------------------------------------------------------------
+    def visit(self, node: ast.AST, module: ModuleInfo) -> Iterable[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._check_obs_rng(node, module)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield from self._check_obs_import(node, module)
+        elif isinstance(node, ast.FunctionDef):
+            yield from self._check_fingerprint_function(node, module)
+
+    def _check_obs_rng(self, node: ast.Call, module: ModuleInfo) -> Iterable[Finding]:
+        if not _in_obs(module):
+            return
+        canonical = canonical_name(node.func, self._aliases)
+        message = classify_rng_call(canonical)
+        if message is None and canonical is not None:
+            # Even Generator *construction* is steering-adjacent inside obs.
+            if canonical.startswith("numpy.random."):
+                message = (
+                    f"{canonical!r} inside repro.obs: observability must not "
+                    "construct or consume RNG streams"
+                )
+        if message is not None:
+            yield self.finding(
+                module, node, f"obs non-steering violation: {message}"
+            )
+
+    def _imported_targets(self, node: ast.AST) -> List[str]:
+        targets: List[str] = []
+        if isinstance(node, ast.Import):
+            targets = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            targets = [node.module] + [
+                f"{node.module}.{alias.name}" for alias in node.names
+            ]
+        return targets
+
+    def _check_obs_import(self, node: ast.AST, module: ModuleInfo) -> Iterable[Finding]:
+        if not _in_obs(module):
+            return
+        matched: Set[str] = set()
+        for target in self._imported_targets(node):
+            for forbidden in self.forbidden_obs_imports:
+                if target == forbidden or target.startswith(forbidden + "."):
+                    matched.add(forbidden)
+        for forbidden in sorted(matched):
+            yield self.finding(
+                module,
+                node,
+                f"repro.obs imports {forbidden!r}: observability must "
+                "not touch fingerprint/cache-key helpers",
+            )
+
+    def _check_fingerprint_function(
+        self, node: ast.FunctionDef, module: ModuleInfo
+    ) -> Iterable[Finding]:
+        if node.name not in FINGERPRINT_FUNCTIONS or not self._obs_bound:
+            return
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Name) and inner.id in self._obs_bound:
+                yield self.finding(
+                    module,
+                    inner,
+                    f"fingerprint function {node.name}() references "
+                    f"{inner.id!r} (bound from "
+                    f"{self._obs_bound[inner.id]!r}): cache keys must not "
+                    "depend on the observability layer",
+                )
+
+    # -- project-level reachability ----------------------------------------------------
+    def finish_project(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph
+        for core in self.fingerprint_core:
+            module = project.module(core)
+            if module is None:
+                continue
+            reachable = graph.reachable_from(core)
+            offenders = sorted(
+                name
+                for name in reachable
+                if name == OBS_PACKAGE or name.startswith(OBS_PACKAGE + ".")
+            )
+            for offender in offenders:
+                chain = graph.import_chain(core, offender)
+                yield self.finding(
+                    module,
+                    1,
+                    f"fingerprint core {core!r} transitively imports "
+                    f"{offender!r} (via {' -> '.join(chain)}): cache-key "
+                    "computation must stay independent of repro.obs",
+                )

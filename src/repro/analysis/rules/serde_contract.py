@@ -1,0 +1,140 @@
+"""SER001 -- serde pairs stay paired, event payloads stay JSON.
+
+Two checks, both guarding the persistence/transport boundary:
+
+* **Pairing** -- a class that defines ``to_dict`` must define ``from_dict``
+  (and vice versa).  Checkpoints, the on-disk cache, telemetry lines and
+  the run-service HTTP protocol all assume the two are exact inverses; a
+  one-way class means some artifact can be written that nothing can read
+  back.  A genuinely one-way type (e.g. a report that embeds live objects)
+  documents that with an inline suppression, which is what makes the
+  exception reviewable.
+* **Payload hygiene** -- dict literals passed as the ``payload`` of an
+  ``EngineEvent`` (or an ``emit``/``_emit`` helper) must use plain string
+  keys and JSON-encodable value expressions.  Payloads go straight through
+  ``json.dumps`` onto ``telemetry.jsonl`` and the ``/runs/<id>/events``
+  wire: a set literal or bytes value only explodes at emit time, in
+  whichever consumer subscribes first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.project import ModuleInfo
+from repro.analysis.visitor import Rule
+
+PAIRED = (("to_dict", "from_dict"), ("from_dict", "to_dict"))
+
+# Call targets whose dict-literal payload crosses the JSON boundary, and the
+# positional index the payload may arrive at.
+_PAYLOAD_CALLS = {"EngineEvent": 2, "_emit": 2, "emit_event": 2}
+
+_NON_JSON_VALUE_TYPES = (
+    ast.Set,
+    ast.SetComp,
+    ast.Lambda,
+    ast.GeneratorExp,
+)
+
+
+def _call_leaf(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _payload_dict(node: ast.Call) -> Optional[ast.Dict]:
+    """The dict literal this call passes as its event payload, if any."""
+    leaf = _call_leaf(node.func)
+    if leaf not in _PAYLOAD_CALLS:
+        return None
+    for keyword in node.keywords:
+        if keyword.arg == "payload" and isinstance(keyword.value, ast.Dict):
+            return keyword.value
+    index = _PAYLOAD_CALLS[leaf]
+    if len(node.args) > index and isinstance(node.args[index], ast.Dict):
+        return node.args[index]
+    return None
+
+
+def _non_json_entries(
+    payload: ast.Dict,
+) -> Iterator[Tuple[ast.AST, str]]:
+    """(node, problem) pairs for statically-visible JSON violations."""
+    for key, value in zip(payload.keys, payload.values):
+        if key is None:  # ** expansion: contents not statically visible
+            continue
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            yield key, (
+                f"payload key {ast.unparse(key)!r} is not a plain string "
+                "literal; event payload keys must be JSON object keys"
+            )
+        if isinstance(value, _NON_JSON_VALUE_TYPES):
+            yield value, (
+                f"payload value {ast.unparse(value)!r} is not JSON-encodable "
+                "(sets/lambdas/generators cannot cross telemetry.jsonl)"
+            )
+        elif isinstance(value, ast.Constant) and isinstance(
+            value.value, (bytes, complex)
+        ):
+            yield value, (
+                f"payload value {value.value!r} is not JSON-encodable; "
+                "encode it to str/int/float first"
+            )
+        elif isinstance(value, ast.Dict):
+            yield from _non_json_entries(value)
+
+
+class SerdeContractRule(Rule):
+    """SER001: to_dict/from_dict pairing + JSON event payloads (see docstring)."""
+
+    rule_id = "SER001"
+    severity = ERROR
+    description = (
+        "to_dict/from_dict must come in pairs; event payload dict literals "
+        "must be plain JSON (string keys, JSON-encodable values)"
+    )
+    interests = (ast.ClassDef, ast.Call)
+
+    def visit(self, node: ast.AST, module: ModuleInfo) -> Iterable[Finding]:
+        if isinstance(node, ast.ClassDef):
+            yield from self._check_pairing(node, module)
+        elif isinstance(node, ast.Call):
+            yield from self._check_payload(node, module)
+
+    def _check_pairing(
+        self, node: ast.ClassDef, module: ModuleInfo
+    ) -> Iterable[Finding]:
+        methods = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for present, missing in PAIRED:
+            if present in methods and missing not in methods:
+                method = next(
+                    stmt
+                    for stmt in node.body
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name == present
+                )
+                yield self.finding(
+                    module,
+                    method,
+                    f"class {node.name} defines {present}() but not "
+                    f"{missing}(); serde pairs must be exact inverses (or "
+                    "the one-way design needs an inline suppression "
+                    "explaining why nothing ever reads this back)",
+                )
+
+    def _check_payload(self, node: ast.Call, module: ModuleInfo) -> Iterable[Finding]:
+        payload = _payload_dict(node)
+        if payload is None:
+            return
+        for offender, problem in _non_json_entries(payload):
+            yield self.finding(module, offender, problem)

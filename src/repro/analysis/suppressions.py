@@ -1,0 +1,60 @@
+"""Inline suppression comments.
+
+Two forms, both carrying an optional justification after ``--``:
+
+* ``# repro-lint: disable=RULE1,RULE2 -- why`` on a source line suppresses
+  those rules for findings reported *on that line*,
+* ``# repro-lint: disable-file=RULE1,RULE2 -- why`` anywhere in a file
+  suppresses those rules for the whole file.
+
+``disable=all`` (or ``disable-file=all``) suppresses every rule.  The parser
+is line-based on raw source text: a suppression inside a string literal
+would count, which is acceptable for a project linter (and is exactly how
+flake8's ``# noqa`` behaves).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List
+
+SUPPRESS_ALL = "all"
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)(?:\s*--.*)?$"
+)
+
+
+class SuppressionIndex:
+    """Which rules are suppressed on which lines of one file."""
+
+    def __init__(self, lines: List[str]):
+        self._by_line: Dict[int, FrozenSet[str]] = {}
+        self._file_wide: FrozenSet[str] = frozenset()
+        for lineno, text in enumerate(lines, start=1):
+            if "repro-lint" not in text:
+                continue
+            match = _DIRECTIVE_RE.search(text)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group("rules").split(",") if part.strip()
+            )
+            if not rules:
+                continue
+            if match.group("scope") == "disable-file":
+                self._file_wide = self._file_wide | rules
+            else:
+                self._by_line[lineno] = self._by_line.get(lineno, frozenset()) | rules
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` is disabled on ``line`` (or file-wide)."""
+        for ruleset in (self._file_wide, self._by_line.get(line, frozenset())):
+            if rule_id in ruleset or SUPPRESS_ALL in ruleset:
+                return True
+        return False
+
+    @property
+    def has_directives(self) -> bool:
+        return bool(self._by_line) or bool(self._file_wide)

@@ -1,0 +1,141 @@
+"""The rule protocol and the single-pass dispatching AST visitor.
+
+Every rule declares the node types it wants (``interests``); the driver
+walks each module's AST exactly once, dispatching each node to the rules
+interested in its type, then gives every rule a per-module and a
+per-project wrap-up hook.  Rules therefore scale O(nodes), not
+O(nodes x rules), and project-level rules (import layering, reachability)
+see the full :class:`~repro.analysis.project.Project` after the walk.
+
+During the walk every node gets a ``parent`` backlink (``_repro_parent``),
+so rules can inspect context (e.g. "is this ``np.float32`` a comparator or
+a dtype argument?") without maintaining their own stacks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.imports import build_import_graph
+from repro.analysis.project import ModuleInfo, Project
+
+PARENT_ATTR = "_repro_parent"
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    """The parent backlink installed by the driver walk (None at the root)."""
+    return getattr(node, PARENT_ATTR, None)
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """Parents from the immediate one up to the module root."""
+    current = parent_of(node)
+    while current is not None:
+        yield current
+        current = parent_of(current)
+
+
+class Rule:
+    """Base class for all lint rules.
+
+    Subclasses set ``rule_id``/``severity``/``description``/``interests``
+    and override any of the three hooks.  All hooks return (or yield) an
+    iterable of :class:`Finding`; state between hooks lives on the rule
+    instance -- one instance sees the whole run, module by module.
+    """
+
+    rule_id: str = "RULE000"
+    severity: str = ERROR
+    description: str = ""
+    interests: Tuple[Type[ast.AST], ...] = ()
+
+    def start_module(self, module: ModuleInfo) -> None:
+        """Called before the walk of each module."""
+
+    def visit(self, node: ast.AST, module: ModuleInfo) -> Iterable[Finding]:
+        """Called for each node whose type is in ``interests``."""
+        return ()
+
+    def finish_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Called after the walk of each module."""
+        return ()
+
+    def finish_project(self, project: Project) -> Iterable[Finding]:
+        """Called once after every module has been walked."""
+        return ()
+
+    # -- helper ----------------------------------------------------------------------
+    def finding(
+        self, module: ModuleInfo, node_or_line, message: str
+    ) -> Finding:
+        """Build a finding for this rule at an AST node (or a bare line number)."""
+        if isinstance(node_or_line, int):
+            line, col = node_or_line, 0
+        else:
+            line = getattr(node_or_line, "lineno", 1)
+            col = getattr(node_or_line, "col_offset", 0)
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=module.path,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
+class RuleDriver:
+    """Runs a rule pack over parsed modules in one AST pass per module."""
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules = list(rules)
+        ids = [rule.rule_id for rule in self.rules]
+        if len(ids) != len(set(ids)):
+            raise ValueError(f"duplicate rule ids in pack: {sorted(ids)}")
+        self._dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.interests:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    def _walk(self, module: ModuleInfo) -> Iterator[Finding]:
+        # Backlinks first, for the whole tree: rules dispatched on shallow
+        # nodes (e.g. the Module itself) inspect arbitrarily deep context.
+        for node in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(node):
+                setattr(child, PARENT_ATTR, node)
+        for node in ast.walk(module.tree):
+            for rule in self._dispatch.get(type(node), ()):
+                yield from rule.visit(node, module)
+
+    def run(self, modules: Sequence[ModuleInfo]) -> List[Finding]:
+        """All findings of the pack over ``modules`` (suppressions NOT applied)."""
+        findings: List[Finding] = []
+        for module in modules:
+            for rule in self.rules:
+                rule.start_module(module)
+            findings.extend(self._walk(module))
+            for rule in self.rules:
+                findings.extend(rule.finish_module(module))
+        project = Project(modules=list(modules), graph=build_import_graph(modules))
+        for rule in self.rules:
+            findings.extend(rule.finish_project(project))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], modules: Sequence[ModuleInfo]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (kept, suppressed) using the modules' inline directives."""
+    by_path = {module.path: module.suppressions for module in modules}
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        index = by_path.get(finding.path)
+        if index is not None and index.is_suppressed(finding.rule_id, finding.line):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, suppressed

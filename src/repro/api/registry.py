@@ -58,7 +58,7 @@ def _ensure_builtins() -> None:
     """Import the built-in strategies on first registry access (idempotent)."""
     global _BUILTINS_LOADED
     if not _BUILTINS_LOADED:
-        _BUILTINS_LOADED = True
+        _BUILTINS_LOADED = True  # repro-lint: disable=THR001 -- GIL-atomic flag flip; worst case two threads both import (idempotent)
         import repro.api.strategies  # noqa: F401  (registers fahana/monas/random)
 
 
@@ -83,7 +83,7 @@ def register_strategy(
                 f"strategy {name!r} is already registered; pass overwrite=True "
                 "to replace it"
             )
-        _STRATEGIES[name] = StrategyInfo(
+        _STRATEGIES[name] = StrategyInfo(  # repro-lint: disable=THR001 -- registration happens at import time / test setup on the driving thread, never from workers
             name=name, factory=fn, description=description
         )
         return fn
@@ -95,7 +95,7 @@ def register_strategy(
 
 def unregister_strategy(name: str) -> None:
     """Remove a registered strategy (mainly for tests)."""
-    _STRATEGIES.pop(name, None)
+    _STRATEGIES.pop(name, None)  # repro-lint: disable=THR001 -- test-teardown helper, driving thread only
 
 
 def get_strategy(name: str) -> StrategyInfo:

@@ -108,7 +108,7 @@ class RunReport:
         lines.append(stats)
         return "\n".join(lines)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> Dict[str, Any]:  # repro-lint: disable=SER001 -- one-way by design: reports embed a live result/engine and are read as plain dicts
         """JSON-encodable form (spec, stats, paths and the full history)."""
         return {
             "spec": self.spec.to_dict(),

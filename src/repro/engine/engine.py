@@ -168,7 +168,7 @@ def set_default_engine_config(
     """Install a process-wide default engine config; returns the previous one."""
     global _default_engine_config
     previous = _default_engine_config
-    _default_engine_config = config
+    _default_engine_config = config  # repro-lint: disable=THR001 -- configured from the driving thread before workers start; single-name rebind is atomic under the GIL
     return previous
 
 
@@ -223,7 +223,7 @@ def _evaluate_payload(
     evaluator, child = payload
     if evaluator is None:
         evaluator = workers_module.process_shared()
-    wall_start = time.time()
+    wall_start = time.time()  # repro-lint: disable=DET001 -- telemetry wall-clock timestamp surfaced in events; never enters results or cache keys
     start = time.perf_counter()
     result = evaluator.evaluate(child)
     return result, time.perf_counter() - start, wall_start
@@ -250,7 +250,7 @@ def _evaluate_stage_payload(
         evaluator = workers_module.process_shared()
     pipeline = evaluator.pipeline
     fidelity = pipeline.fidelity(fidelity_name)
-    wall_start = time.time()
+    wall_start = time.time()  # repro-lint: disable=DET001 -- telemetry wall-clock timestamp surfaced in events; never enters results or cache keys
     start = time.perf_counter()
     result = pipeline.train_and_score(
         child, fidelity, pricing=pricing, restore_from=initial_weights

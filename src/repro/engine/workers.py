@@ -99,7 +99,7 @@ def _init_process_worker(shared: Any, blas_threads: Optional[int] = None) -> Non
     """Executor initializer: unpickle the shared payload once per worker and
     pin the worker's BLAS thread count before the first task runs."""
     global _PROCESS_SHARED
-    _PROCESS_SHARED = shared
+    _PROCESS_SHARED = shared  # repro-lint: disable=THR001 -- per-process executor initializer; runs once before any task in that worker
     limit_blas_threads(blas_threads)
 
 
@@ -308,10 +308,6 @@ class ProcessPool(WorkerPool):
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)
-
-
-def _thread_tagged(fn: Callable[[Any], Any], payload: Any) -> WorkerResult:
-    return fn(payload), threading.current_thread().name
 
 
 def _process_tagged(fn: Callable[[Any], Any], payload: Any) -> WorkerResult:

@@ -52,7 +52,7 @@ def set_default_dtype(dtype: DtypeLike) -> np.dtype:
     """Set the process-wide default dtype; returns the previous one."""
     global _DEFAULT_DTYPE
     previous = _DEFAULT_DTYPE
-    _DEFAULT_DTYPE = _as_dtype(dtype)
+    _DEFAULT_DTYPE = _as_dtype(dtype)  # repro-lint: disable=THR001 -- documented process-wide policy switch, set from the driving thread before training
     return previous
 
 

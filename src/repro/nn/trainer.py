@@ -42,7 +42,7 @@ def _trainer_instruments() -> tuple:
                 "Training throughput of the most recent epoch",
             ),
         )
-        _instrument_cache = (registry, instruments)
+        _instrument_cache = (registry, instruments)  # repro-lint: disable=THR001 -- benign last-write-wins cache: concurrent writers build identical tuples from the same locked registry
     return instruments
 
 

@@ -43,7 +43,7 @@ def set_enabled(value: bool) -> bool:
     """Globally enable/disable instrumentation writes; returns the old flag."""
     global _enabled
     previous = _enabled
-    _enabled = bool(value)
+    _enabled = bool(value)  # repro-lint: disable=THR001 -- kill-switch bool flip, atomic under the GIL; readers tolerate either value
     return previous
 
 
@@ -519,5 +519,5 @@ def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
     """Swap the process-global registry (tests); returns the previous one."""
     global _default_registry
     previous = _default_registry
-    _default_registry = registry
+    _default_registry = registry  # repro-lint: disable=THR001 -- test-only swap on the driving thread; single-name rebind is GIL-atomic
     return previous

@@ -92,6 +92,10 @@ class ArchitectureDescriptor:
     input_resolution: int = 224
     family: str = "custom"
 
+    # Labels, deliberately outside the content fingerprint: two structurally
+    # identical children sampled under different names share one cache entry.
+    CACHE_KEY_EXEMPT = ("name", "family")
+
     def __post_init__(self) -> None:
         if not self.blocks:
             raise ValueError("an architecture needs at least one block")

@@ -58,7 +58,7 @@ def register_architecture(name: str, factory: ArchitectureFactory) -> None:
     """Register a custom architecture factory under ``name``."""
     if name in _REGISTRY:
         raise ValueError(f"architecture {name!r} is already registered")
-    _REGISTRY[name] = factory
+    _REGISTRY[name] = factory  # repro-lint: disable=THR001 -- import-time registration on the driving thread, never from workers
 
 
 def list_architectures() -> List[str]:

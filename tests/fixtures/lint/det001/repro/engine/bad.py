@@ -1,0 +1,16 @@
+"""DET001 positive fixture: legacy global-state RNG and wall-clock reads."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def sample_badly():
+    np.random.seed(1234)
+    draw = np.random.rand(4)
+    pick = random.choice([1, 2, 3])
+    stamp = time.time()
+    born = datetime.now()
+    return draw, pick, stamp, born

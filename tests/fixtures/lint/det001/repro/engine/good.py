@@ -1,0 +1,12 @@
+"""DET001 negative fixture: explicit Generators and monotonic clocks."""
+
+import time
+
+import numpy as np
+
+
+def sample_well(rng: np.random.Generator):
+    fresh = np.random.default_rng(1234)
+    start = time.perf_counter()
+    values = rng.standard_normal(4) + fresh.standard_normal(4)
+    return values, time.perf_counter() - start

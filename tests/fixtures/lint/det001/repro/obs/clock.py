@@ -1,0 +1,7 @@
+"""DET001 allowlist fixture: timestamps are the obs layer's job."""
+
+import time
+
+
+def stamp():
+    return time.time()

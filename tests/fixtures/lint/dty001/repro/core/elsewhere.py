@@ -1,0 +1,7 @@
+"""DTY001 negative fixture: dtype literals outside repro.nn are fine."""
+
+import numpy as np
+
+
+def make(shape):
+    return np.zeros(shape, dtype=np.float32)

@@ -1,0 +1,8 @@
+"""DTY001 positive fixture: pinned precision in an NN hot path."""
+
+import numpy as np
+
+
+def make_state(shape, x):
+    weights = np.zeros(shape, dtype=np.float32)
+    return weights, x.astype(np.float64)

@@ -1,0 +1,9 @@
+"""DTY001 fixture stub: the policy module may name concrete dtypes."""
+
+import numpy as np
+
+_DEFAULT = np.float64
+
+
+def resolve_dtype():
+    return _DEFAULT

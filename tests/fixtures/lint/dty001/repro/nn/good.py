@@ -1,0 +1,11 @@
+"""DTY001 negative fixture: policy-derived dtypes, sanctioned comparison."""
+
+import numpy as np
+
+from repro.nn.dtype import resolve_dtype
+
+
+def make_state(shape, x):
+    if x.dtype == np.float32:
+        return np.zeros(shape, dtype=x.dtype), x
+    return np.zeros(shape, dtype=resolve_dtype()), x

@@ -1,0 +1,23 @@
+"""KEY001 positive fixtures: a leaked field and a stale exemption."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LeakySpec:
+    width: int
+    depth: int
+    label: str
+
+    def cache_key(self) -> str:
+        return f"{self.width}x{self.depth}"
+
+
+@dataclass
+class StaleExempt:
+    alpha: int
+
+    CACHE_KEY_EXEMPT = ("alpha", "gone")
+
+    def cache_key(self) -> str:
+        return str(self.alpha)

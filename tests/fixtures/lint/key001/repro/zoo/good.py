@@ -1,0 +1,49 @@
+"""KEY001 negative fixtures: referenced, exempted and delegating specs."""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class FullSpec:
+    width: int
+    depth: int
+
+    def cache_key(self) -> str:
+        return f"{self.width}x{self.depth}"
+
+
+@dataclass(frozen=True)
+class ExemptSpec:
+    width: int
+    label: str
+
+    CACHE_KEY_EXEMPT = ("label",)
+
+    def cache_key(self) -> str:
+        return str(self.width)
+
+
+@dataclass(frozen=True)
+class DelegatingSpec:
+    width: int
+    depth: int
+
+    def to_dict(self):
+        return {"width": self.width, "depth": self.depth}
+
+    def cache_key(self) -> str:
+        return repr(sorted(self.to_dict().items()))
+
+
+@dataclass(frozen=True)
+class AsdictSpec:
+    width: int
+    depth: int
+
+    def cache_key(self) -> str:
+        return repr(sorted(asdict(self).items()))
+
+
+@dataclass(frozen=True)
+class NoKeyMethod:
+    anything: str

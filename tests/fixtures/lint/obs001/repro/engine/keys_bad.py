@@ -1,0 +1,9 @@
+"""OBS001 positive fixture: a fingerprint function reading obs state."""
+
+from repro.obs.metrics import counter
+
+
+class Spec:
+    def cache_key(self):
+        counter("repro_cache_keys_total")
+        return "key"

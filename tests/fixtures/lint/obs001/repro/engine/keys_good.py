@@ -1,0 +1,12 @@
+"""OBS001 negative fixture: instrumented module, obs-free fingerprint path."""
+
+from repro.obs.metrics import counter
+
+
+class Spec:
+    def describe(self):
+        counter("repro_describe_total")
+        return "described"
+
+    def cache_key(self):
+        return "key"

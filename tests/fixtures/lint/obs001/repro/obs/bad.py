@@ -1,0 +1,10 @@
+"""OBS001 positive fixture: obs drawing randomness and importing fingerprints."""
+
+import numpy as np
+
+from repro.utils.fingerprint import content_fingerprint
+
+
+def sneaky_sample():
+    rng = np.random.default_rng(7)
+    return content_fingerprint({"draw": float(rng.random())})

@@ -1,0 +1,10 @@
+"""OBS001 negative fixture: observing without steering."""
+
+import time
+
+from repro.obs.metrics import counter
+
+
+def observe(value):
+    counter("repro_observations_total")
+    return {"at": time.time(), "value": value}

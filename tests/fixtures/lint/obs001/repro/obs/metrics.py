@@ -1,0 +1,7 @@
+"""OBS001 fixture stub standing in for the real metrics module."""
+
+_enabled = True
+
+
+def counter(name):
+    return name

@@ -1,0 +1,8 @@
+"""OBS001 positive fixture: the fingerprint core reaching into obs."""
+
+from repro.obs.metrics import counter
+
+
+def content_fingerprint(payload):
+    counter("repro_fingerprints_total")
+    return repr(sorted(payload.items()))

@@ -1,0 +1,19 @@
+"""SER001 positive fixtures: one-way serde and non-JSON event payloads."""
+
+
+class WriteOnly:
+    def to_dict(self):
+        return {"value": 1}
+
+
+class ReadOnly:
+    @classmethod
+    def from_dict(cls, data):
+        return cls()
+
+
+def emit_badly(engine, episode):
+    engine._emit("episode", episode, payload={"seen": {1, 2, 3}})
+    engine._emit("episode", episode, payload={1: "not-a-string-key"})
+    engine._emit("episode", episode, payload={"blob": b"raw-bytes"})
+    engine._emit("episode", episode, payload={"nested": {"inner": {4, 5}}})

@@ -1,0 +1,19 @@
+"""SER001 negative fixtures: paired serde and plain-JSON payloads."""
+
+
+class Paired:
+    def __init__(self, value):
+        self.value = value
+
+    def to_dict(self):
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["value"])
+
+
+def emit_well(engine, episode, extras):
+    engine._emit("episode", episode, payload={"reward": 1.5, "meta": {"ok": True}})
+    engine._emit("episode", episode, payload={"count": len(extras), **extras})
+    engine.log(payload={"anything": {1, 2}})

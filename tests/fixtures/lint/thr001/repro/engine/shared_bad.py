@@ -1,0 +1,10 @@
+"""THR001 positive fixture: unlocked module state on a worker path."""
+
+_RESULTS = {}
+_TOTAL = 0
+
+
+def record(key):
+    global _TOTAL
+    _RESULTS[key] = True
+    _TOTAL += 1

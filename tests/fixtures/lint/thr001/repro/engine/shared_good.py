@@ -1,0 +1,11 @@
+"""THR001 negative fixture: the same mutation held under a lock."""
+
+import threading
+
+_LOCK = threading.Lock()
+_RESULTS = {}
+
+
+def record(key):
+    with _LOCK:
+        _RESULTS[key] = True

@@ -1,0 +1,8 @@
+"""THR001 fixture entry point standing in for the real worker pool."""
+
+from repro.engine import shared_bad, shared_good
+
+
+def run_task(key):
+    shared_bad.record(key)
+    shared_good.record(key)

@@ -1,0 +1,7 @@
+"""THR001 negative fixture: unlocked state not reachable from entry points."""
+
+_CACHE = {}
+
+
+def remember(key):
+    _CACHE[key] = True
