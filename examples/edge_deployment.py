@@ -1,13 +1,22 @@
-"""Edge-deployment planning: which architectures fit which device budget?
+"""Edge-deployment planning: from device budgets to a served, promoted model.
 
-Reproduces the Table 1 decision problem as a library workflow: given a device
-and a latency budget, rank every zoo architecture, flag the ones that meet
-the specification, and show the accuracy/fairness price of the feasible set.
-No training is needed for the hardware side -- the analytic latency model
-prices full-scale (224x224) networks directly.
+Part 1 reproduces the Table 1 decision problem as a library workflow: given a
+device and a latency budget, rank every zoo architecture, flag the ones that
+meet the specification, and show the accuracy/fairness price of the feasible
+set.  No training is needed for the hardware side -- the analytic latency
+model prices full-scale (224x224) networks directly.
+
+Part 2 closes the loop the way a deployment would: run a real (reduced-scale)
+FaHaNa search, pick the Pareto point for each device class from the search
+history with the same latency model, promote the picks into a model zoo
+(``repro.serving``), and answer predictions through the batched
+:class:`~repro.serving.server.ModelServer`.
 """
 
 from __future__ import annotations
+
+import os
+import tempfile
 
 from repro.experiments import paper_values
 from repro.hardware import (
@@ -23,7 +32,8 @@ from repro.zoo import get_architecture, list_architectures
 TIMING_BUDGETS_MS = (700.0, 1500.0, 2500.0)
 
 
-def main() -> None:
+def plan_with_latency_model() -> None:
+    """Part 1: rank the paper's networks against each device's budgets."""
     names = [n for n in list_architectures() if n in paper_values.TABLE3 or n == "SqueezeNet 1.0"]
     for device in (RASPBERRY_PI_4, ODROID_XU4):
         rows = []
@@ -68,6 +78,96 @@ def main() -> None:
         if estimate_latency_ms(get_architecture(name), spec.device) <= spec.timing_constraint_ms
     ]
     print(f"\nfeasible under the paper's default specification: {', '.join(sorted(feasible))}")
+
+
+def promote_and_serve(root: str) -> None:
+    """Part 2: search, promote one Pareto point per device class, serve it."""
+    import numpy as np
+
+    from repro.api import DatasetSpec, DesignSpecConfig, RunSpec, SearchParams
+    from repro.engine.serde import history_from_dict
+    from repro.service import RunClient
+    from repro.service.registry import RunRegistry
+    from repro.serving import ModelServer
+    from repro.serving.registry import (
+        LATENCY_CLASSES,
+        REFERENCE_DEVICE,
+        ZooRegistry,
+        latency_class,
+    )
+    from repro.hardware.device import get_device
+
+    runs_root = os.path.join(root, "runs")
+    spec = RunSpec(
+        strategy="fahana",
+        dataset=DatasetSpec(
+            image_size=10, samples_per_class=8, minority_fraction=0.5,
+            seed=123, split_seed=0,
+        ),
+        design=DesignSpecConfig(timing_constraint_ms=1e6),
+        search=SearchParams(
+            episodes=4, child_epochs=1, child_batch_size=8, pretrain_epochs=0,
+            max_searchable=2, width_multiplier=0.25, seed=0,
+        ),
+    )
+    print("\n=== promote & serve (reduced-scale search) ===")
+    handle = RunClient.local(runs_root=runs_root, max_workers=1).submit(spec)
+    handle.result(timeout=300)
+    print(f"search finished: run {handle.run_id}")
+
+    # Pick the served Pareto point per device class: among the episodes that
+    # satisfy each tier's budget on the reference device, take the highest
+    # search reward.  This is the same latency model Part 1 plans with.
+    report = RunRegistry(runs_root).load_report(handle.run_id)
+    history = history_from_dict(report["history"])
+    device = get_device(REFERENCE_DEVICE)
+    candidates = [
+        (record, estimate_latency_ms(record.descriptor, device))
+        for record in history.valid_records()
+    ]
+    zoo = ZooRegistry(os.path.join(root, "zoo"))
+    picks = {}
+    for tier, budget_ms in LATENCY_CLASSES:
+        fitting = [(r, ms) for r, ms in candidates if ms <= budget_ms]
+        if not fitting:
+            print(f"  {tier:9s} (<= {budget_ms:.0f}ms): no feasible episode")
+            continue
+        record, latency = max(fitting, key=lambda pair: pair[0].reward)
+        entry = zoo.promote_run(
+            runs_root, handle.run_id,
+            name=f"fahana-{tier}", episode=record.episode,
+        )
+        picks[tier] = entry
+        print(
+            f"  {tier:9s} (<= {budget_ms:.0f}ms): episode {record.episode} "
+            f"at {latency:.0f}ms -> {entry.name}:{entry.version} "
+            f"(class {latency_class(latency)})"
+        )
+
+    if not picks:
+        return
+    # Serve the tightest-budget pick through the micro-batched server.
+    tier, entry = next(iter(picks.items()))
+    server = ModelServer(zoo.root)
+    try:
+        inputs = np.random.default_rng(0).normal(
+            size=(4, *entry.manifest["input_shape"])
+        )
+        predictions = server.predict(entry.name, inputs)
+        stats = server.models()[0].get("serving") or {}
+        print(
+            f"served {entry.name} ({tier} tier): predictions "
+            f"{predictions.tolist()} via batches of mean size "
+            f"{stats.get('mean_batch_size', 0):.1f}"
+        )
+    finally:
+        server.close()
+
+
+def main() -> None:
+    plan_with_latency_model()
+    with tempfile.TemporaryDirectory(prefix="edge-deploy-") as root:
+        promote_and_serve(root)
 
 
 if __name__ == "__main__":

@@ -16,8 +16,10 @@ be independent of when it was computed.  This rule bans:
   how long things took, which telemetry reports but results never contain.
 
 Wall-clock calls are allowed in the modules whose *job* is timestamps --
-the observability layer and the run-service lifecycle records (see
-``WALLCLOCK_ALLOWED_PREFIXES``).  Anything else needs an inline
+the observability layer, the run-service lifecycle records, and the serving
+layer's request telemetry (see ``WALLCLOCK_ALLOWED_PREFIXES``; promotion
+artifacts themselves stay wall-clock-free -- see the audit note at the
+allowlist).  Anything else needs an inline
 ``# repro-lint: disable=DET001 -- why`` with a justification.
 """
 
@@ -61,7 +63,19 @@ WALLCLOCK_TARGETS = frozenset(
 # Module-name prefixes where wall-clock timestamps are the module's job:
 # repro.obs stamps spans/events, repro.service stamps lifecycle records
 # (created_at/finished_at in status.json).  Neither feeds a computation.
-WALLCLOCK_ALLOWED_PREFIXES: Tuple[str, ...] = ("repro.obs", "repro.service")
+#
+# Audit note (repro.serving, added with the serving PR): the micro-batcher
+# and load paths use only monotonic clocks for flush deadlines, which DET001
+# allows everywhere; the allowlist entry covers request-log style telemetry
+# only.  Promotion artifacts (manifests, weights blobs, report cards) are
+# wall-clock-free by construction -- the zip writer pins member timestamps
+# to the DOS epoch and versions derive from content hashes -- so re-promoting
+# the same run yields byte-identical zoo entries regardless of this entry.
+WALLCLOCK_ALLOWED_PREFIXES: Tuple[str, ...] = (
+    "repro.obs",
+    "repro.service",
+    "repro.serving",
+)
 
 # Module-name prefixes exempt from the RNG ban.  Empty on purpose: even
 # repro.utils.rng only *constructs* Generators, which is already allowed.

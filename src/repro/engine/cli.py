@@ -47,6 +47,8 @@ SUBCOMMANDS = (
     "tail",
     "cancel",
     "list",
+    # Model zoo promotion (repro.serving behind repro.service.cli).
+    "promote",
     # Observability (repro.obs behind repro.service.cli).
     "trace",
     "top",

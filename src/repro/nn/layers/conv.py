@@ -31,19 +31,27 @@ from repro.utils.rng import SeedLike
 def _unfold_into_workspace(layer: Module, x: np.ndarray, kernel: int) -> np.ndarray:
     """``im2col`` into the layer's reusable workspace buffer.
 
-    The workspace is safe to reuse across training forwards because it is
-    consumed by the matching ``backward`` (or discarded) before the next
-    forward overwrites it.  Inference-mode forwards allocate fresh instead:
-    a training forward may still be awaiting its backward, and its cached
-    patch tensor is a view of the workspace.
+    The training workspace is safe to reuse across training forwards because
+    it is consumed by the matching ``backward`` (or discarded) before the
+    next forward overwrites it.  Inference-mode forwards keep a *separate*
+    workspace: a training forward may still be awaiting its backward -- its
+    cached patch tensor is a view of ``_workspace`` -- so steady-state
+    serving reuses ``_inference_workspace`` instead of allocating the patch
+    tensor (the dominant allocation of a forward pass) on every call.
+    Neither buffer escapes the forward that fills it, so identical-shape
+    batches do zero large allocations after the first call.
     """
     n, c, h, w = x.shape
     stride, padding = layer.stride, layer.padding
-    if is_inference():
-        return im2col(x, kernel, kernel, stride, padding)
     out_h = conv_output_size(h, kernel, stride, padding)
     out_w = conv_output_size(w, kernel, stride, padding)
     shape = (n, c, kernel, kernel, out_h, out_w)
+    if is_inference():
+        ws = layer._inference_workspace
+        if ws is None or ws.shape != shape or ws.dtype != x.dtype:
+            ws = np.empty(shape, dtype=x.dtype)
+            layer._inference_workspace = ws
+        return im2col(x, kernel, kernel, stride, padding, out=ws)
     ws = layer._workspace
     if ws is None or ws.shape != shape or ws.dtype != x.dtype:
         ws = np.empty(shape, dtype=x.dtype)
@@ -92,6 +100,7 @@ class Conv2d(Module):
             self.bias = Parameter(init.zeros((out_channels,)), name="bias")
 
         self._workspace: Optional[np.ndarray] = None
+        self._inference_workspace: Optional[np.ndarray] = None
         self._cache_cols: Optional[np.ndarray] = None
         self._cache_input_shape: Optional[tuple] = None
 
@@ -213,6 +222,7 @@ class DepthwiseConv2d(Module):
             self.bias = Parameter(init.zeros((channels,)), name="bias")
 
         self._workspace: Optional[np.ndarray] = None
+        self._inference_workspace: Optional[np.ndarray] = None
         self._cache_cols: Optional[np.ndarray] = None
         self._cache_input_shape: Optional[tuple] = None
 

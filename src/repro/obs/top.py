@@ -162,6 +162,24 @@ def render(metrics: Samples, runs: List[Dict[str, Any]], url: str) -> str:
         f"last {'-' if samples_per_second is None else format(samples_per_second, '.0f')} samples/s"
     )
 
+    # The serving row only appears once a model has answered a predict.
+    served = sum(
+        sample["value"] for sample in metrics.get("repro_serving_requests_total", ())
+    )
+    if served:
+        batches = sum(
+            s["value"] for s in metrics.get("repro_serving_batches_total", ())
+        )
+        rejected = sum(
+            s["value"] for s in metrics.get("repro_serving_rejected_total", ())
+        )
+        lines.append(
+            f"serving: requests {int(served)} | batches {int(batches)} "
+            f"({served / max(batches, 1):.1f} req/batch) | rejected {int(rejected)} | "
+            f"request p50 {_fmt_seconds(histogram_quantile(metrics, 'repro_serving_request_seconds', 0.5))} "
+            f"p99 {_fmt_seconds(histogram_quantile(metrics, 'repro_serving_request_seconds', 0.99))}"
+        )
+
     lines.append("-" * 78)
     if runs:
         lines.extend(_run_row(status) for status in runs[-20:])

@@ -1,5 +1,5 @@
 """``repro-search`` run-service subcommands: serve / submit / status / tail /
-cancel / list.
+cancel / list / promote.
 
 Every subcommand addresses runs either **through the daemon** (``--url``) or
 **directly on a runs root** (``--runs-root``, the default ``runs``) -- the
@@ -36,6 +36,7 @@ from repro.service.events import tail_telemetry
 from repro.service.registry import RunRegistry
 
 DEFAULT_RUNS_ROOT = "runs"
+DEFAULT_ZOO_ROOT = "zoo"
 DEFAULT_PORT = 8023
 
 
@@ -174,11 +175,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_workers=args.workers,
         quiet=not args.verbose,
+        zoo_root=args.zoo_root or DEFAULT_ZOO_ROOT,
+        max_batch_size=args.max_batch_size,
+        flush_ms=args.flush_ms,
+        max_queue=args.max_queue,
     )
     print(
         f"run service listening on {service.url} "
         f"(runs root {service.executor.registry.root}, "
-        f"{args.workers} worker slot{'s' if args.workers != 1 else ''})",
+        f"zoo root {service.model_server.zoo.root}, "
+        f"{args.workers} worker slot{'s' if args.workers != 1 else ''}, "
+        f"serving batch<={args.max_batch_size} flush={args.flush_ms}ms)",
         flush=True,
     )
     stop = threading.Event()
@@ -259,9 +266,55 @@ def cmd_list(args: argparse.Namespace) -> int:
     )
     if not statuses:
         print("no runs")
-        return 0
-    for status in statuses:
-        print(_status_row(status))
+    else:
+        for status in statuses:
+            print(_status_row(status))
+
+    # Deployable zoo entries, so operators see what is promoted without
+    # poking the filesystem.  Offline only: the registry is plain files.
+    zoo_root = getattr(args, "zoo_root", None) or DEFAULT_ZOO_ROOT
+    if not args.url and os.path.isdir(zoo_root):
+        from repro.serving.registry import ZooRegistry
+
+        entries = ZooRegistry(zoo_root).list_entries()
+        if entries:
+            print(f"\nzoo ({len(entries)} deployable "
+                  f"model{'s' if len(entries) != 1 else ''}):")
+            for entry in entries:
+                print(f"  {entry.summary_row}")
+    return 0
+
+
+def cmd_promote(args: argparse.Namespace) -> int:
+    """Promote the best child of a finished run into the model zoo."""
+    if args.url:
+        payload: Dict[str, Any] = {"run_id": args.run_id}
+        if args.name:
+            payload["name"] = args.name
+        if args.episode is not None:
+            payload["episode"] = args.episode
+        from repro.service.remote import ServiceExecutor
+
+        manifest = ServiceExecutor(args.url).promote(payload)
+    else:
+        from repro.serving.registry import ZooRegistry
+
+        entry = ZooRegistry(args.zoo_root or DEFAULT_ZOO_ROOT).promote_run(
+            _registry(args), args.run_id, name=args.name, episode=args.episode
+        )
+        manifest = entry.manifest
+    print(
+        f"promoted {manifest['source_run_id']} episode {manifest['episode']} -> "
+        f"{manifest['name']}:{manifest['version']}"
+    )
+    print(
+        f"  accuracy={manifest['accuracy']:.2%} "
+        f"unfairness={manifest['unfairness']:.4f} "
+        f"latency={manifest['latency_class']} "
+        f"({manifest['reference_latency_ms']:.0f}ms on "
+        f"{manifest['reference_device']})"
+    )
+    print(f"  weights blob {manifest['weights_blob']} (content-hash deduped)")
     return 0
 
 
@@ -382,6 +435,29 @@ def add_service_subparsers(subparsers: argparse._SubParsersAction) -> None:
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    serve.add_argument(
+        "--zoo-root",
+        default=None,
+        help=f"model zoo directory served at /models (default: {DEFAULT_ZOO_ROOT!r})",
+    )
+    serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=32,
+        help="micro-batcher flushes once this many rows are queued",
+    )
+    serve.add_argument(
+        "--flush-ms",
+        type=float,
+        default=5.0,
+        help="micro-batcher flushes a partial batch after this many milliseconds",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="queued rows beyond this are rejected with HTTP 429",
+    )
 
     submit = subparsers.add_parser(
         "submit", help="submit a run spec to the service (or runs root)"
@@ -422,8 +498,38 @@ def add_service_subparsers(subparsers: argparse._SubParsersAction) -> None:
     cancel.add_argument("run_id", help="run id")
     add_target_arguments(cancel)
 
-    list_parser = subparsers.add_parser("list", help="list known runs")
+    list_parser = subparsers.add_parser(
+        "list", help="list known runs and promoted zoo models"
+    )
     add_target_arguments(list_parser)
+    list_parser.add_argument(
+        "--zoo-root",
+        default=None,
+        help=f"model zoo directory to list (default: {DEFAULT_ZOO_ROOT!r})",
+    )
+
+    promote = subparsers.add_parser(
+        "promote",
+        help="promote the best child of a finished run into the model zoo",
+    )
+    promote.add_argument("run_id", help="finished run id")
+    add_target_arguments(promote)
+    promote.add_argument(
+        "--zoo-root",
+        default=None,
+        help=f"model zoo directory (default: {DEFAULT_ZOO_ROOT!r})",
+    )
+    promote.add_argument(
+        "--name",
+        default=None,
+        help="zoo model name (default: derived from the architecture descriptor)",
+    )
+    promote.add_argument(
+        "--episode",
+        type=int,
+        default=None,
+        help="promote this episode's child instead of the best-reward one",
+    )
 
     trace = subparsers.add_parser(
         "trace",
@@ -463,6 +569,7 @@ SERVICE_COMMANDS = {
     "tail": cmd_tail,
     "cancel": cmd_cancel,
     "list": cmd_list,
+    "promote": cmd_promote,
     "trace": cmd_trace,
     "top": cmd_top,
 }

@@ -1,9 +1,11 @@
 """The local run service daemon behind ``repro-search serve``.
 
 A stdlib-only HTTP front (``http.server.ThreadingHTTPServer``) over a
-registry-backed :class:`~repro.service.local.LocalExecutor`: submissions are
-``RunSpec`` JSON, runs queue on the executor's bounded worker-slot pool, and
-every artifact lives in the runs root, so daemon restarts lose nothing.
+registry-backed :class:`~repro.service.local.LocalExecutor` plus a
+:class:`~repro.serving.server.ModelServer`: submissions are ``RunSpec``
+JSON, runs queue on the executor's bounded worker-slot pool, promoted zoo
+models answer batched predict requests, and every artifact lives in the
+runs/zoo roots, so daemon restarts lose nothing.
 
 Endpoints (JSON unless noted)::
 
@@ -16,10 +18,17 @@ Endpoints (JSON unless noted)::
     GET  /runs/<id>/events?since=N event page {"events", "next", "done"}
     POST /runs/<id>/cancel         cooperative cancel -> updated status
     POST /runs/<id>/resume         re-queue from the checkpoint -> {"run_id"}
+    GET  /models                   zoo entries (+ live serving stats)
+    POST /models/promote           {"run_id", "name"?, "episode"?} -> manifest
+    POST /models/<name>/predict    {"inputs": [[...], ...]} -> {"predictions"}
 
 Errors are structured: ``{"error": {"type", "message"}}`` with 400 for
-invalid specs/JSON, 404 for unknown runs or endpoints and 409 for a report
-requested before the run finished.
+invalid specs/JSON, 404 for unknown runs/models/endpoints, 408 for a body
+read that timed out, 409 for a report requested before the run finished,
+411/413 for missing-length/oversized bodies (validated from the headers
+*before* any body byte is read) and 429 when a model's serving queue is
+full.  A connection-level timeout (``request_timeout``) drops stalled
+clients so they cannot wedge a worker thread.
 """
 
 from __future__ import annotations
@@ -30,11 +39,19 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.api.spec import RunSpec
 from repro.obs import metrics as obs_metrics
 from repro.service import registry as reg
 from repro.service.errors import RunNotFound, RunNotReady
 from repro.service.local import LocalExecutor
+from repro.serving.batcher import QueueFull
+from repro.serving.registry import DEFAULT_ZOO_ROOT, ModelNotFound
+from repro.serving.server import ModelServer
+
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+DEFAULT_REQUEST_TIMEOUT = 30.0
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -44,6 +61,16 @@ class _RequestHandler(BaseHTTPRequestHandler):
     @property
     def executor(self) -> LocalExecutor:
         return self.server.executor  # type: ignore[attr-defined]
+
+    @property
+    def model_server(self) -> ModelServer:
+        return self.server.model_server  # type: ignore[attr-defined]
+
+    def setup(self) -> None:
+        # Connection-level timeout: a client that stalls mid-request (or
+        # never sends one) gets dropped instead of pinning a worker thread.
+        self.timeout = getattr(self.server, "request_timeout", None)
+        super().setup()
 
     def log_message(self, format: str, *args: Any) -> None:
         if getattr(self.server, "quiet", True):
@@ -56,6 +83,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -70,10 +99,64 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(encoded)
 
-    def _read_json_body(self) -> Any:
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b""
+    def _read_json_body(self, required: bool = False) -> Any:
+        """Validate the body from its headers *before* reading a byte.
+
+        Missing ``Content-Length`` on a request that carries (or must carry)
+        a body is 411; a declared length beyond the server's limit is 413 --
+        both answered without draining the wire, so an oversized upload is
+        rejected at the headers instead of buffered.  A client that stalls
+        mid-body hits the connection timeout and gets 408.
+        """
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            if self.headers.get("Transfer-Encoding") or required:
+                raise _HttpError(
+                    411,
+                    "length-required",
+                    "request must declare Content-Length (chunked bodies are "
+                    "not accepted)",
+                    close=True,
+                )
+            return {}
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(
+                400, "invalid-length", f"Content-Length is not an integer: "
+                f"{raw_length!r}", close=True
+            )
+        if length < 0:
+            raise _HttpError(
+                400, "invalid-length", "Content-Length must be non-negative",
+                close=True,
+            )
+        limit = getattr(self.server, "max_body_bytes", DEFAULT_MAX_BODY_BYTES)
+        if length > limit:
+            raise _HttpError(
+                413,
+                "payload-too-large",
+                f"request body of {length} bytes exceeds the server limit of "
+                f"{limit} bytes",
+                close=True,
+            )
+        try:
+            raw = self.rfile.read(length) if length else b""
+        except TimeoutError:
+            raise _HttpError(
+                408,
+                "request-timeout",
+                "timed out reading the request body",
+                close=True,
+            )
+        if len(raw) < length:
+            raise _HttpError(
+                400, "truncated-body",
+                f"declared {length} body bytes, received {len(raw)}", close=True
+            )
         if not raw:
+            if required:
+                raise _HttpError(411, "length-required", "request body required")
             return {}
         try:
             return json.loads(raw.decode("utf-8"))
@@ -107,16 +190,22 @@ class _RequestHandler(BaseHTTPRequestHandler):
             root, run_id, action, query = self._route()
             handler = self._resolve_handler(method, root, run_id, action)
             handler(run_id, query)
-        except _BadRequest as error:
-            self._send_error_json(400, error.kind, error.message)
+        except _HttpError as error:
+            if error.close:
+                self.close_connection = True
+            self._send_error_json(error.status, error.kind, error.message)
         except _NotFoundPath:
             self._send_error_json(
                 404, "unknown-endpoint", f"no such endpoint: {method} {self.path}"
             )
         except RunNotFound as error:
             self._send_error_json(404, "unknown-run", str(error))
+        except ModelNotFound as error:
+            self._send_error_json(404, "unknown-model", str(error))
         except RunNotReady as error:
             self._send_error_json(409, "run-not-ready", str(error))
+        except QueueFull as error:
+            self._send_error_json(429, "backpressure", str(error))
         except ValueError as error:
             self._send_error_json(400, "invalid-spec", str(error))
         except Exception as error:  # no stack traces over the wire
@@ -129,6 +218,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
             return self._get_health
         if method == "GET" and root == "metrics" and run_id is None:
             return self._get_metrics
+        if root == "models":
+            if method == "GET" and run_id is None:
+                return self._get_models
+            if method == "POST" and run_id == "promote" and action is None:
+                return self._post_promote
+            if method == "POST" and run_id is not None and action == "predict":
+                return self._post_predict
+            raise _NotFoundPath()
         if root != "runs":
             raise _NotFoundPath()
         if method == "GET":
@@ -158,7 +255,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
         Engines mirror their per-run registries into the global one, so this
         is the fleet view: every run this daemon process executed so far,
-        plus the executor's scrape-time gauges (slots, queue, runs by state).
+        the serving metric families, plus the executor's scrape-time gauges
+        (slots, queue, runs by state).
         """
         self._send_text(
             200,
@@ -167,7 +265,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         )
 
     def _post_submit(self, run_id: Optional[str], query: Dict[str, str]) -> None:
-        payload = self._read_json_body()
+        payload = self._read_json_body(required=True)
         spec = RunSpec.from_dict(payload)  # ValueError -> structured 400
         submitted = self.executor.submit(spec)
         self._send_json(
@@ -210,12 +308,63 @@ class _RequestHandler(BaseHTTPRequestHandler):
             200, {"run_id": resumed, "status": self.executor.status(resumed)}
         )
 
+    # -- serving endpoints ----------------------------------------------------------
+    def _get_models(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        self._send_json(200, {"models": self.model_server.models()})
 
-class _BadRequest(Exception):
-    def __init__(self, kind: str, message: str):
+    def _post_promote(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        payload = self._read_json_body(required=True)
+        if not isinstance(payload, dict) or "run_id" not in payload:
+            raise _BadRequest(
+                "invalid-promotion", 'body must be {"run_id": ..., "name"?, '
+                '"episode"?}'
+            )
+        episode = payload.get("episode")
+        entry = self.model_server.zoo.promote_run(
+            self.executor.registry,
+            str(payload["run_id"]),
+            name=payload.get("name"),
+            episode=None if episode is None else int(episode),
+        )
+        # A re-promotion may have moved the name's `latest` pointer.
+        self.model_server.invalidate(entry.name)
+        self._send_json(201, {"model": entry.manifest})
+
+    def _post_predict(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        payload = self._read_json_body(required=True)
+        if not isinstance(payload, dict) or "inputs" not in payload:
+            raise _BadRequest(
+                "invalid-inputs", 'body must be {"inputs": [[...], ...]}'
+            )
+        try:
+            inputs = np.asarray(payload["inputs"], dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise _BadRequest("invalid-inputs", f"inputs are not numeric: {error}")
+        predictions = self.model_server.predict(run_id, inputs)
+        self._send_json(
+            200,
+            {
+                "model": run_id,
+                "count": int(predictions.shape[0]),
+                "predictions": [int(value) for value in predictions],
+            },
+        )
+
+
+class _HttpError(Exception):
+    """A structured HTTP error with an explicit status code."""
+
+    def __init__(self, status: int, kind: str, message: str, close: bool = False):
         super().__init__(message)
+        self.status = status
         self.kind = kind
         self.message = message
+        self.close = close
+
+
+class _BadRequest(_HttpError):
+    def __init__(self, kind: str, message: str):
+        super().__init__(400, kind, message)
 
 
 class _NotFoundPath(Exception):
@@ -232,16 +381,31 @@ class RunService:
         port: int = 0,
         max_workers: int = 1,
         quiet: bool = True,
+        zoo_root: str = DEFAULT_ZOO_ROOT,
+        max_batch_size: int = 32,
+        flush_ms: float = 5.0,
+        max_queue: int = 256,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
     ):
         # The daemon owns its runs root: re-enqueue runs a previous daemon
         # left queued and fail the ones it left mid-flight (resumable).
         self.executor = LocalExecutor(
             runs_root=runs_root, max_workers=max_workers, recover=True
         )
+        self.model_server = ModelServer(
+            zoo_root=zoo_root,
+            max_batch_size=max_batch_size,
+            max_delay_ms=flush_ms,
+            max_queue=max_queue,
+        )
         self.server = ThreadingHTTPServer((host, port), _RequestHandler)
         self.server.daemon_threads = True
         self.server.executor = self.executor  # type: ignore[attr-defined]
+        self.server.model_server = self.model_server  # type: ignore[attr-defined]
         self.server.quiet = quiet  # type: ignore[attr-defined]
+        self.server.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
+        self.server.request_timeout = request_timeout  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -272,6 +436,7 @@ class RunService:
         """Stop accepting requests and wind down the worker pool."""
         self.server.shutdown()
         self.server.server_close()
+        self.model_server.close()
         self.executor.shutdown(wait=False)
         if self._thread is not None:
             self._thread.join(timeout=5.0)

@@ -47,6 +47,7 @@ class ServiceExecutor:
         path: str,
         payload: Optional[Dict[str, Any]] = None,
         run_id: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
         data = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
@@ -56,7 +57,9 @@ class ServiceExecutor:
             method=method,
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
                 return json.load(response)
         except urllib.error.HTTPError as error:
             raise self._map_error(error, run_id) from None
@@ -173,6 +176,26 @@ class ServiceExecutor:
 
     def list_runs(self) -> List[Dict[str, Any]]:
         return list(self._request("GET", "/runs")["runs"])
+
+    # -- the model zoo ---------------------------------------------------------------
+    def promote(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST /models/promote; returns the promoted entry's manifest.
+
+        Promotion retrains the winning child deterministically, so it can
+        outlast the default request timeout by a wide margin -- give it ten
+        minutes instead.
+        """
+        response = self._request(
+            "POST",
+            "/models/promote",
+            payload=payload,
+            run_id=str(payload.get("run_id", "")),
+            timeout=max(self.timeout, 600.0),
+        )
+        return dict(response["model"])
+
+    def list_models(self) -> List[Dict[str, Any]]:
+        return list(self._request("GET", "/models")["models"])
 
     def healthy(self) -> bool:
         """True when the daemon answers its health endpoint."""

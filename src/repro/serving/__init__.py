@@ -1,0 +1,27 @@
+"""Inference serving: the model zoo and the batched inference engine.
+
+``repro.serving`` turns a finished search into something that answers
+traffic: :class:`~repro.serving.registry.ZooRegistry` promotes the best
+child of a ``runs/<run_id>/`` directory into a versioned, content-addressed
+``zoo/<name>/<version>/`` entry, and
+:class:`~repro.serving.server.ModelServer` serves promoted entries behind
+per-model request micro-batchers
+(:class:`~repro.serving.batcher.MicroBatcher`).  The daemon exposes the
+server as ``POST /models/<name>/predict`` / ``GET /models`` /
+``POST /models/promote``; ``benchmarks/bench_serving.py`` tracks the
+batching speedup in ``BENCH_serving.json``.
+"""
+
+from repro.serving.batcher import MicroBatcher, QueueFull
+from repro.serving.registry import ModelNotFound, ZooEntry, ZooRegistry, latency_class
+from repro.serving.server import ModelServer
+
+__all__ = [
+    "MicroBatcher",
+    "ModelNotFound",
+    "ModelServer",
+    "QueueFull",
+    "ZooEntry",
+    "ZooRegistry",
+    "latency_class",
+]
