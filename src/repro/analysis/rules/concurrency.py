@@ -53,6 +53,12 @@ ENTRY_MODULES: Tuple[str, ...] = (
     "repro.engine.workers",
     "repro.service.local",
     "repro.service.daemon",
+    # The fleet fabric: the supervisor's tables are hit from every daemon
+    # request thread, and the agent runs a heartbeat thread beside its work
+    # loop.
+    "repro.fleet.supervisor",
+    "repro.fleet.pool",
+    "repro.fleet.agent",
 )
 
 # In-place mutators of the builtin containers.

@@ -71,10 +71,19 @@ WALLCLOCK_TARGETS = frozenset(
 # wall-clock-free by construction -- the zip writer pins member timestamps
 # to the DOS epoch and versions derive from content hashes -- so re-promoting
 # the same run yields byte-identical zoo entries regardless of this entry.
+#
+# Audit note (repro.fleet, added with the fleet PR): every supervision
+# deadline -- lease expiry, heartbeat timeouts, retry backoff -- runs on the
+# monotonic clock, which DET001 allows everywhere.  Wall clock appears only
+# in agent-status payloads (``registered_at`` on GET /agents), display-only
+# link-state telemetry that never reaches a task payload or result; task
+# blobs are pickled verbatim and results round-trip untouched, so fleet
+# scheduling cannot steer what a wave computes.
 WALLCLOCK_ALLOWED_PREFIXES: Tuple[str, ...] = (
     "repro.obs",
     "repro.service",
     "repro.serving",
+    "repro.fleet",
 )
 
 # Module-name prefixes exempt from the RNG ban.  Empty on purpose: even

@@ -11,6 +11,7 @@ The run-service lifecycle lives behind the same entry point (see
 :mod:`repro.service.cli`):
 
     repro-search serve --port 8023 --runs-root runs
+    repro-search agent --url http://127.0.0.1:8023
     repro-search submit spec.json --url http://127.0.0.1:8023
     repro-search tail <run-id-or-run-dir> --follow
     repro-search status/cancel/list ...
@@ -42,6 +43,7 @@ SUBCOMMANDS = (
     "strategies",
     # Run-service lifecycle (repro.service.cli).
     "serve",
+    "agent",
     "submit",
     "status",
     "tail",

@@ -72,7 +72,7 @@ from repro.engine.events import (
     JsonlTelemetry,
 )
 from repro.engine import workers as workers_module
-from repro.engine.workers import BACKENDS, WorkerPool, create_pool
+from repro.engine.workers import WorkerPool, create_pool, ensure_backend
 from repro.obs import metrics as obs_metrics
 from repro.obs.tracing import Tracer
 from repro.utils.fingerprint import (
@@ -142,10 +142,7 @@ class EngineConfig:
     blas_threads_per_worker: Optional[int] = 1
 
     def __post_init__(self) -> None:
-        if self.backend not in BACKENDS:
-            raise ValueError(
-                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
-            )
+        ensure_backend(self.backend)  # ValueError on unknown names
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if self.batch_episodes is not None and self.batch_episodes <= 0:
@@ -625,6 +622,7 @@ class SearchEngine:
             shared=shared,
             blas_threads=self.config.blas_threads_per_worker,
             metrics=self.metrics,
+            events=self.events.emit,
         )
         try:
             while self._next_episode < num_episodes:

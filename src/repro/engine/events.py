@@ -49,6 +49,12 @@ CONSUMER_ERROR = "consumer-error"
 # metrics snapshot per wave (elapsed, episodes/sec, cache hit rate).
 SPAN = "span"
 METRICS_UPDATED = "metrics-updated"
+# Fleet supervision kinds (repro.fleet): the worker fabric fell back to local
+# execution; an expired lease was returned to pending; an agent missed enough
+# heartbeats to be declared dead.
+FLEET_DEGRADED = "fleet-degraded"
+FLEET_LEASE_REASSIGNED = "fleet-lease-reassigned"
+FLEET_AGENT_DEAD = "fleet-agent-dead"
 
 # Kinds that end a run's event stream (a tail can stop following after one).
 TERMINAL_KINDS = (RUN_FINISHED, RUN_CANCELLED)

@@ -24,17 +24,28 @@ Backends:
 
 from __future__ import annotations
 
+import importlib
 import os
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import metrics as obs_metrics
 
 WorkerResult = Tuple[Any, str]
 
 BACKENDS = ("serial", "thread", "process")
+
+# Backends contributed by other packages (name -> factory).  Factories accept
+# the full create_pool keyword set (num_workers/shared/blas_threads/metrics)
+# plus ``events``, an EngineEvent callback the built-in pools have no use for.
+_EXTRA_BACKENDS: Dict[str, Callable[..., "WorkerPool"]] = {}
+
+# Backends that self-register on import: ``ensure_backend`` imports the named
+# module when the backend is not yet registered, so a RunSpec can say
+# ``backend: fleet`` without any caller importing repro.fleet first.
+LAZY_BACKENDS = {"fleet": "repro.fleet"}
 
 # Environment variables read by the common BLAS/OpenMP runtimes.
 _BLAS_ENV_VARS = (
@@ -314,12 +325,52 @@ def _process_tagged(fn: Callable[[Any], Any], payload: Any) -> WorkerResult:
     return fn(payload), f"process-{os.getpid()}"
 
 
+def register_backend(name: str, factory: Callable[..., WorkerPool]) -> None:
+    """Register an externally provided pool backend (idempotent per name).
+
+    ``factory`` is called with the :func:`create_pool` keyword set plus
+    ``events`` (an :class:`~repro.engine.events.EngineEvent` callback, or
+    None); it must return a :class:`WorkerPool`.  Re-registering a name
+    replaces the factory, so test doubles can shadow the real one.
+    """
+    if name in BACKENDS:
+        raise ValueError(f"backend {name!r} is built in and cannot be replaced")
+    _EXTRA_BACKENDS[name] = factory  # repro-lint: disable=THR001 -- single dict store, atomic under the GIL; registration happens at import time (module body of the backend package), before any pool dispatches work
+
+
+def ensure_backend(name: str) -> str:
+    """Validate a backend name, importing lazy providers on first use.
+
+    Returns the name unchanged so config validators can use it inline;
+    raises ``ValueError`` (the config-error type) for unknown names.
+    """
+    if name in BACKENDS or name in _EXTRA_BACKENDS:
+        return name
+    module = LAZY_BACKENDS.get(name)
+    if module is not None:
+        importlib.import_module(module)  # registers itself on import
+        if name in _EXTRA_BACKENDS:
+            return name
+    raise ValueError(
+        f"unknown backend {name!r}; expected one of {available_backends()}"
+    )
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Every currently valid backend name (built-in, registered, lazy)."""
+    names = dict.fromkeys(BACKENDS)
+    names.update(dict.fromkeys(_EXTRA_BACKENDS))
+    names.update(dict.fromkeys(LAZY_BACKENDS))
+    return tuple(names)
+
+
 def create_pool(
     backend: str,
     num_workers: int = 2,
     shared: Optional[Any] = None,
     blas_threads: Optional[int] = 1,
     metrics: Optional["obs_metrics.MetricsRegistry"] = None,
+    events: Optional[Callable[..., None]] = None,
 ) -> WorkerPool:
     """Instantiate a worker pool by backend name.
 
@@ -330,7 +381,9 @@ def create_pool(
     the in-process backends ignore it too, since limiting the parent's BLAS
     would also change the caller's own kernels.  ``metrics`` routes the
     pool's instruments into a specific registry (the engine passes its
-    per-run registry); None uses the process-global one.
+    per-run registry); None uses the process-global one.  ``events`` is an
+    EngineEvent callback forwarded only to registered backends (the fleet
+    pool emits supervision events through it; built-ins have none to emit).
     """
     if backend == "serial":
         return SerialPool(metrics=metrics)
@@ -340,4 +393,12 @@ def create_pool(
         return ProcessPool(
             num_workers, shared=shared, blas_threads=blas_threads, metrics=metrics
         )
-    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    ensure_backend(backend)
+    factory = _EXTRA_BACKENDS[backend]
+    return factory(
+        num_workers=num_workers,
+        shared=shared,
+        blas_threads=blas_threads,
+        metrics=metrics,
+        events=events,
+    )

@@ -1,0 +1,207 @@
+"""``RemoteWorkerPool``: the engine-facing face of the fleet.
+
+The engine never learns about agents, leases, or heartbeats -- it asks a
+:class:`~repro.engine.workers.WorkerPool` to ``map_ordered`` a wave of
+payloads and trusts the results to come back in submission order.  This
+module keeps that contract over a fleet of remote agents:
+
+* Each ``(fn, payload)`` pair is pickled into an opaque task blob and
+  submitted to the :class:`~repro.fleet.supervisor.FleetSupervisor` as one
+  wave.  Agents pull, execute and complete tasks in any interleaving; the
+  pool reassembles results by task *index*, so the engine's deterministic
+  feedback loop is untouched by scheduling.
+* The pool's wait loop doubles as the supervision heartbeat on the daemon
+  side: every poll calls ``reap()`` (expiring dead agents and stale leases)
+  and drains the wave's incidents into typed ``EngineEvent``s on the owning
+  run's bus -- reassignments and agent deaths show up in ``telemetry.jsonl``
+  next to episode events.
+* **Graceful degradation**: tasks no agent can finish (the fleet is empty,
+  every agent died, or a task burned through its reassignment budget) are
+  claimed back and executed locally in the pool's own thread, with one typed
+  ``fleet-degraded`` event per claim batch.  A wave therefore always
+  completes, fleet or no fleet.
+
+The supervisor lives in the daemon process; the pool reaches it through the
+module-level :func:`install_supervisor` slot because the engine instantiates
+pools by backend *name* (``EngineConfig(backend="fleet")``) and has no
+channel to pass daemon objects through a RunSpec.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.engine import events as engine_events
+from repro.engine.events import EngineEvent
+from repro.engine.workers import WorkerPool, WorkerResult, _PoolMetrics
+from repro.fleet.supervisor import FleetSupervisor
+from repro.obs import metrics as obs_metrics
+
+# The daemon installs its supervisor here so engine-created fleet pools (which
+# only know the backend's *name*) can find it.
+_SUPERVISOR: Optional[FleetSupervisor] = None
+
+
+def install_supervisor(supervisor: Optional[FleetSupervisor]) -> None:
+    """Make ``supervisor`` the one fleet pools constructed by name attach to."""
+    global _SUPERVISOR
+    _SUPERVISOR = supervisor  # repro-lint: disable=THR001 -- single-slot handoff written once by the daemon at startup, before any run executes
+
+
+def installed_supervisor() -> Optional[FleetSupervisor]:
+    return _SUPERVISOR
+
+
+# -- the wire format for task blobs and results --------------------------------------
+def encode_task(fn: Callable[[Any], Any], payload: Any) -> bytes:
+    """Pickle one unit of work; agents unpickle and execute it verbatim."""
+    return pickle.dumps((fn, payload), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def run_task(blob: bytes) -> bytes:
+    """Execute a task blob; the agent ships the returned bytes back untouched.
+
+    Exceptions are results too: a raising task pickles its exception so the
+    pool re-raises it in the engine's thread, matching what a local backend
+    would have done.
+    """
+    fn, payload = pickle.loads(blob)
+    try:
+        return pickle.dumps(("ok", fn(payload)), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as error:
+        try:
+            return pickle.dumps(("error", error), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # The exception itself is unpicklable; degrade to its description.
+            fallback = RuntimeError(f"{type(error).__name__}: {error}")
+            return pickle.dumps(("error", fallback), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_result(blob: bytes) -> Any:
+    """Unpickle a task result; re-raises if the task raised."""
+    status, value = pickle.loads(blob)
+    if status == "error":
+        raise value
+    return value
+
+
+class RemoteWorkerPool(WorkerPool):
+    """Fans ``map_ordered`` waves across the fleet's registered agents."""
+
+    name = "fleet"
+
+    def __init__(
+        self,
+        supervisor: Optional[FleetSupervisor] = None,
+        num_workers: int = 2,
+        metrics: Optional["obs_metrics.MetricsRegistry"] = None,
+        events: Optional[Callable[[EngineEvent], None]] = None,
+        poll_interval: Optional[float] = None,
+    ):
+        resolved = supervisor or installed_supervisor()
+        if resolved is None:
+            raise RuntimeError(
+                "backend 'fleet' needs a FleetSupervisor: run under the "
+                "service daemon (repro-search serve), or call "
+                "repro.fleet.install_supervisor() first"
+            )
+        self.supervisor = resolved
+        # Advisory only -- actual parallelism is however many agents are
+        # alive; kept so EngineConfig(num_workers=...) round-trips cleanly.
+        self.num_workers = num_workers
+        self._events = events
+        self._metrics = _PoolMetrics(self.name, metrics)
+        self._poll = (
+            resolved.config.poll_interval if poll_interval is None else poll_interval
+        )
+
+    def map_ordered(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> List[WorkerResult]:
+        meters = self._metrics
+        blobs = [encode_task(fn, payload) for payload in payloads]
+        wave = self.supervisor.submit_wave(blobs)
+        submitted = time.perf_counter()
+        meters.in_flight.inc(len(blobs))
+        observed_done = 0
+        try:
+            while True:
+                self.supervisor.reap()
+                self._pump_incidents(wave)
+                claimed = self.supervisor.claim_local(wave)
+                if claimed:
+                    self._run_degraded(wave, fn, payloads, claimed)
+                observed_done = self._note_progress(wave, submitted, observed_done)
+                if wave.done:
+                    break
+                time.sleep(self._poll)
+            self._pump_incidents(wave)
+            results: List[WorkerResult] = []
+            for task in wave.tasks:
+                assert task.result is not None
+                value = decode_result(task.result)
+                label = (
+                    "fleet-local"
+                    if task.agent_id is None and task.agent_name == "local"
+                    else f"agent:{task.agent_name}"
+                )
+                results.append((value, label))
+            return results
+        finally:
+            meters.in_flight.dec(len(blobs) - observed_done)
+            self.supervisor.close_wave(wave)
+
+    def _run_degraded(
+        self,
+        wave: Any,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        claimed: List[int],
+    ) -> None:
+        """Execute claimed tasks locally, announcing the degradation once."""
+        reason = (
+            "no-live-agents"
+            if self.supervisor.alive_agents() == 0
+            else "attempts-exhausted"
+        )
+        self._emit(
+            engine_events.FLEET_DEGRADED,
+            {"reason": reason, "tasks": list(claimed)},
+        )
+        for index in claimed:
+            blob = run_task(encode_task(fn, payloads[index]))
+            self.supervisor.complete_local(wave, index, blob)
+
+    def _note_progress(self, wave: Any, submitted: float, seen: int) -> int:
+        """Record newly completed tasks in the pool instruments.
+
+        Completion instants live on agents' clocks, so ``task_seconds`` spans
+        submit-to-observed-completion -- the same approximation the process
+        backend makes for tasks finishing in another process.
+        """
+        done = sum(1 for task in wave.tasks if task.state == "done")
+        fresh = done - seen
+        if fresh > 0:
+            duration = time.perf_counter() - submitted
+            meters = self._metrics
+            for _ in range(fresh):
+                meters.tasks.inc()
+                meters.task_seconds.observe(duration)
+                meters.in_flight.dec()
+        return done
+
+    def _pump_incidents(self, wave: Any) -> None:
+        """Re-emit the wave's supervision incidents as typed engine events."""
+        for incident in self.supervisor.drain_incidents(wave):
+            kind = {
+                "lease-reassigned": engine_events.FLEET_LEASE_REASSIGNED,
+                "agent-dead": engine_events.FLEET_AGENT_DEAD,
+            }.get(incident.pop("kind", ""), None)
+            if kind is not None:
+                self._emit(kind, incident)
+
+    def _emit(self, kind: str, payload: dict) -> None:
+        if self._events is not None:
+            self._events(EngineEvent(kind=kind, payload=payload))

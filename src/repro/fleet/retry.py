@@ -1,0 +1,109 @@
+"""One deterministic retry/backoff policy for every client<->daemon call.
+
+Distribution multiplies the ways a single HTTP request can fail -- connection
+refused while a daemon restarts, a 503 while it drains, a socket timeout on a
+stalled link -- and every caller that invents its own loop invents its own
+bugs.  :class:`RetryPolicy` is the single shared answer, with three hard
+rules:
+
+* **Deterministic schedule.**  Exponential backoff with *no jitter*: attempt
+  ``i`` sleeps ``min(base_delay * multiplier**i, max_delay)`` seconds.  A
+  reproduction platform must be replayable end to end, and that includes its
+  failure handling -- two runs of the same test against the same fault
+  schedule retry at the same instants.
+* **Bounded attempts.**  ``max_attempts`` caps the loop; the final failure
+  re-raises the original exception untouched so callers keep their existing
+  error mapping.
+* **Idempotent operations only.**  Retrying a ``POST /runs`` after a dropped
+  response could submit the run twice; retrying a ``GET /runs/<id>`` cannot.
+  Callers declare each call site's idempotency and the policy refuses to
+  retry the unsafe ones -- a non-idempotent call gets exactly one attempt.
+
+What is retryable: connection-level failures (``URLError``, ``ConnectionError``,
+timeouts) and the 5xx statuses in ``retry_statuses``.  A 4xx is never
+retried -- the request itself is wrong and will be wrong again.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+DEFAULT_RETRY_STATUSES: Tuple[int, ...] = (500, 502, 503, 504)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, jitter-free exponential backoff for idempotent HTTP calls."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    retry_statuses: Tuple[int, ...] = DEFAULT_RETRY_STATUSES
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0 (backoff never shrinks)")
+
+    def delays(self) -> Tuple[float, ...]:
+        """The deterministic sleep schedule between attempts.
+
+        ``max_attempts`` attempts have ``max_attempts - 1`` gaps; the
+        schedule is a pure function of the policy, so tests can assert the
+        exact instants a client retried at.
+        """
+        return tuple(
+            min(self.base_delay * self.multiplier**index, self.max_delay)
+            for index in range(self.max_attempts - 1)
+        )
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """True for transient transport/server faults; False for caller bugs.
+
+        Order matters: ``HTTPError`` subclasses ``URLError``, so the status
+        check must come first or every 404 would look like a dropped
+        connection.
+        """
+        if isinstance(error, urllib.error.HTTPError):
+            return error.code in self.retry_statuses
+        if isinstance(error, urllib.error.URLError):
+            return True
+        return isinstance(error, (ConnectionError, TimeoutError, OSError))
+
+    def call(
+        self,
+        attempt: Callable[[], Any],
+        idempotent: bool = True,
+        max_attempts: Optional[int] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Any:
+        """Run ``attempt`` under this policy; returns its value.
+
+        ``idempotent=False`` disables retries entirely (one attempt, errors
+        propagate) -- declaring idempotency at the call site keeps the
+        decision next to the endpoint it describes.  ``max_attempts``
+        overrides the policy's bound for probe-style calls (``healthy()``
+        passes 1).  ``sleep`` is injectable so tests replay the schedule
+        without waiting it out.
+        """
+        attempts = self.max_attempts if max_attempts is None else max_attempts
+        if not idempotent:
+            attempts = 1
+        schedule = self.delays()
+        for index in range(attempts):
+            try:
+                return attempt()
+            except Exception as error:
+                if index >= attempts - 1 or not self.is_retryable(error):
+                    raise
+                delay = schedule[index] if index < len(schedule) else self.max_delay
+                if delay > 0:
+                    sleep(delay)
+        raise AssertionError("unreachable: the loop returns or raises")

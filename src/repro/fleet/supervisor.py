@@ -1,0 +1,506 @@
+"""Daemon-side fleet supervision: agent registry, lease tables, reassignment.
+
+:class:`FleetSupervisor` owns the mutable truth of the worker fabric -- which
+agents are alive, which task each one holds a lease on, and how often work
+had to be reassigned -- behind one lock, with the supervised link-state
+discipline the ROADMAP cites from the gridworks-scada proactor runtime:
+
+* **Registration.**  An agent announces itself and receives an id plus the
+  timing contract (heartbeat interval, lease duration, idle poll delay).
+* **Heartbeats as link state.**  Each heartbeat carries the agent's *actively
+  executing* task ids and renews exactly those leases.  A lease the agent
+  never acknowledges (its grant response was dropped on the wire) expires on
+  its original deadline instead of being renewed forever -- the supervisor
+  trusts what the agent reports, not what the supervisor once sent.
+* **Dead-agent detection.**  ``miss_factor`` missed heartbeat intervals mark
+  an agent dead; its leases return to pending with an incremented attempt
+  count.  Reassignment is deterministic: tasks are granted strictly lowest
+  wave, lowest index first, so a recovered wave replays in the same order.
+* **At-most-one active grant.**  A task is leased to at most one live agent.
+  A completion from a fenced-off stale lease (the agent was declared dead and
+  the task re-granted) is rejected and counted, never double-applied.
+* **Bounded retries + degradation.**  A task reassigned ``max_task_attempts``
+  times stops being offered to agents; the
+  :class:`~repro.fleet.pool.RemoteWorkerPool` claims it (and everything
+  pending once no agent is alive) for local execution, so a wave always
+  completes.
+
+All deadlines use the monotonic clock; wall-clock timestamps appear only in
+the agent-status payloads served for observability.  Results are opaque bytes
+(pickled by the pool, round-tripped untouched), so the supervisor can never
+steer what a wave computes -- only where it runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import metrics as obs_metrics
+
+# Task lifecycle states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+
+
+class UnknownAgent(KeyError):
+    """The agent id is not registered (or was declared dead and reaped)."""
+
+    def __init__(self, agent_id: str):
+        super().__init__(agent_id)
+        self.agent_id = agent_id
+
+    def __str__(self) -> str:
+        return (
+            f"unknown agent {self.agent_id!r}: not registered, or declared "
+            "dead after missed heartbeats (re-register to rejoin the fleet)"
+        )
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """The fleet's timing and retry contract (shared with every agent)."""
+
+    heartbeat_interval: float = 2.0
+    # Missed intervals before an agent is declared dead.
+    miss_factor: float = 3.0
+    # Unacknowledged lease lifetime; heartbeats renew acknowledged leases.
+    lease_seconds: float = 15.0
+    # Reassignments before a task is withdrawn from remote execution.
+    max_task_attempts: int = 5
+    # Suggested delay between an idle agent's lease polls.
+    poll_interval: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.miss_factor <= 1.0:
+            raise ValueError("miss_factor must exceed 1.0")
+        if self.lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        if self.max_task_attempts <= 0:
+            raise ValueError("max_task_attempts must be positive")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+
+    @property
+    def agent_timeout(self) -> float:
+        """Seconds without a heartbeat after which an agent is dead."""
+        return self.heartbeat_interval * self.miss_factor
+
+
+class _Agent:
+    """One registered worker agent's link state."""
+
+    __slots__ = ("agent_id", "name", "registered_at", "last_seen", "tasks_done")
+
+    def __init__(self, agent_id: str, name: str, now: float):
+        self.agent_id = agent_id
+        self.name = name
+        self.registered_at = time.time()  # wall clock: status payloads only
+        self.last_seen = now  # monotonic: drives death detection
+        self.tasks_done = 0
+
+
+class _Task:
+    """One unit of leased work inside a wave."""
+
+    __slots__ = (
+        "index",
+        "payload",
+        "state",
+        "attempts",
+        "agent_id",
+        "agent_name",
+        "lease_expires",
+        "acknowledged",
+        "result",
+        "error",
+    )
+
+    def __init__(self, index: int, payload: bytes):
+        self.index = index
+        self.payload = payload
+        self.state = PENDING
+        self.attempts = 0
+        self.agent_id: Optional[str] = None
+        self.agent_name: Optional[str] = None
+        self.lease_expires = 0.0
+        self.acknowledged = False
+        self.result: Optional[bytes] = None
+        self.error: Optional[str] = None
+
+
+class Wave:
+    """One ``map_ordered`` fan-out: an ordered task list plus its incidents.
+
+    Incidents are the wave-scoped supervision occurrences (reassignments,
+    agent deaths) the pool drains and re-emits as typed ``EngineEvent``s on
+    the owning run's bus -- the supervisor itself has no bus to publish on.
+    """
+
+    def __init__(self, wave_id: str, payloads: List[bytes]):
+        self.wave_id = wave_id
+        self.tasks = [_Task(index, payload) for index, payload in enumerate(payloads)]
+        self.closed = False
+        self.incidents: List[Dict[str, Any]] = []
+
+    @property
+    def done(self) -> bool:
+        return all(task.state == DONE for task in self.tasks)
+
+
+class FleetSupervisor:
+    """Owns the fleet's lease tables; every method is thread-safe."""
+
+    def __init__(
+        self,
+        config: Optional[FleetConfig] = None,
+        metrics: Optional["obs_metrics.MetricsRegistry"] = None,
+    ):
+        self.config = config or FleetConfig()
+        self._lock = threading.Lock()
+        self._agents: Dict[str, _Agent] = {}
+        self._waves: Dict[str, Wave] = {}  # insertion order = grant order
+        self._draining = False
+        # Totals (also exported as repro.obs instruments below).
+        self.reassignments = 0
+        self.agents_died = 0
+        self.stale_completions = 0
+        self.tasks_completed = 0
+        registry = metrics or obs_metrics.get_registry()
+        registry.register_callback(
+            "repro_fleet_agents_alive",
+            "Worker agents currently registered and heartbeating",
+            lambda: float(len(self._agents)),
+        )
+        registry.register_callback(
+            "repro_fleet_leases_active",
+            "Tasks currently leased to an agent",
+            self._count_active_leases,
+        )
+        self._m_reassigned = registry.counter(
+            "repro_fleet_leases_reassigned_total",
+            "Expired leases returned to pending and re-granted",
+        )
+        self._m_agents_dead = registry.counter(
+            "repro_fleet_agents_dead_total",
+            "Agents declared dead after missed heartbeats",
+        )
+        self._m_heartbeats = registry.counter(
+            "repro_fleet_heartbeats_total", "Heartbeats accepted"
+        )
+        self._m_completed = registry.counter(
+            "repro_fleet_tasks_completed_total",
+            "Task completions accepted, by execution site",
+            labelnames=("site",),
+        )
+        self._m_stale = registry.counter(
+            "repro_fleet_completions_stale_total",
+            "Completions rejected because the lease had been reassigned",
+        )
+
+    def _count_active_leases(self) -> float:
+        with self._lock:
+            return float(
+                sum(
+                    1
+                    for wave in self._waves.values()
+                    for task in wave.tasks
+                    if task.state == LEASED
+                )
+            )
+
+    # -- agent lifecycle -----------------------------------------------------------
+    def register_agent(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Admit an agent; returns its id and the fleet's timing contract."""
+        agent_id = uuid.uuid4().hex[:12]
+        now = time.monotonic()
+        with self._lock:
+            agent = _Agent(agent_id, name or f"agent-{agent_id[:6]}", now)
+            self._agents[agent_id] = agent
+        return {
+            "agent_id": agent_id,
+            "name": agent.name,
+            "heartbeat_interval": self.config.heartbeat_interval,
+            "lease_seconds": self.config.lease_seconds,
+            "poll_interval": self.config.poll_interval,
+            "draining": self._draining,
+        }
+
+    def heartbeat(
+        self, agent_id: str, active_tasks: Optional[List[str]] = None
+    ) -> Dict[str, Any]:
+        """Record liveness and renew the leases the agent says it is running.
+
+        ``active_tasks`` is the link state: only the listed task ids are
+        renewed, so a grant the agent never received expires on schedule.
+        """
+        now = time.monotonic()
+        self.reap(now)
+        active = set(active_tasks or ())
+        with self._lock:
+            agent = self._agents.get(agent_id)
+            if agent is None:
+                raise UnknownAgent(agent_id)
+            agent.last_seen = now
+            for wave in self._waves.values():
+                for task in wave.tasks:
+                    if (
+                        task.state == LEASED
+                        and task.agent_id == agent_id
+                        and self._task_id(wave, task) in active
+                    ):
+                        task.acknowledged = True
+                        task.lease_expires = now + self.config.lease_seconds
+        self._m_heartbeats.inc()
+        return {"ok": True, "draining": self._draining}
+
+    def agents_status(self) -> List[Dict[str, Any]]:
+        """Live agents for ``GET /agents`` (wall-clock fields are display-only)."""
+        now = time.monotonic()
+        self.reap(now)
+        with self._lock:
+            return [
+                {
+                    "agent_id": agent.agent_id,
+                    "name": agent.name,
+                    "registered_at": agent.registered_at,
+                    "seconds_since_heartbeat": max(0.0, now - agent.last_seen),
+                    "tasks_done": agent.tasks_done,
+                    "leases": sum(
+                        1
+                        for wave in self._waves.values()
+                        for task in wave.tasks
+                        if task.state == LEASED and task.agent_id == agent.agent_id
+                    ),
+                }
+                for agent in self._agents.values()
+            ]
+
+    def alive_agents(self) -> int:
+        self.reap()
+        with self._lock:
+            return len(self._agents)
+
+    # -- wave lifecycle (pool side; same process as the supervisor) ------------------
+    def submit_wave(self, payloads: List[bytes]) -> Wave:
+        """Open a wave of opaque task payloads; tasks grant in index order."""
+        wave = Wave(uuid.uuid4().hex[:12], payloads)
+        with self._lock:
+            self._waves[wave.wave_id] = wave
+        return wave
+
+    def close_wave(self, wave: Wave) -> None:
+        """Retire a wave; later completions for it are ignored gracefully."""
+        with self._lock:
+            wave.closed = True
+            self._waves.pop(wave.wave_id, None)
+
+    def claim_local(self, wave: Wave) -> List[int]:
+        """Claim for local execution every task agents cannot finish.
+
+        A task is unservable remotely once it exhausted
+        ``max_task_attempts`` reassignments, or while no agent is alive.
+        Claimed tasks are marked done-by-local later via
+        :meth:`complete_local`; returns their indices (grant order).
+        """
+        self.reap()
+        with self._lock:
+            fleet_empty = not self._agents
+            claimed = []
+            for task in wave.tasks:
+                if task.state != PENDING:
+                    continue
+                if fleet_empty or task.attempts >= self.config.max_task_attempts:
+                    task.state = LEASED
+                    task.agent_id = None
+                    task.agent_name = "local"
+                    task.acknowledged = True
+                    task.lease_expires = float("inf")
+                    claimed.append(task.index)
+            return claimed
+
+    def complete_local(self, wave: Wave, index: int, result: bytes) -> None:
+        """Record a locally executed task's result (no fencing needed)."""
+        with self._lock:
+            task = wave.tasks[index]
+            task.state = DONE
+            task.result = result
+            self.tasks_completed += 1
+        self._m_completed.labels(site="local").inc()
+
+    def drain_incidents(self, wave: Wave) -> List[Dict[str, Any]]:
+        """Pop the wave's supervision incidents (for event emission)."""
+        with self._lock:
+            incidents = wave.incidents
+            wave.incidents = []
+            return incidents
+
+    # -- the lease protocol (agent side, via the daemon's HTTP endpoints) ------------
+    def lease(self, agent_id: str) -> Optional[Dict[str, Any]]:
+        """Grant the lowest pending task to ``agent_id`` (or None when idle).
+
+        Grant order is deterministic -- oldest wave first, lowest task index
+        first -- so a wave recovered after failures replays its remaining
+        work in the same order every time.
+        """
+        now = time.monotonic()
+        self.reap(now)
+        with self._lock:
+            agent = self._agents.get(agent_id)
+            if agent is None:
+                raise UnknownAgent(agent_id)
+            if self._draining:
+                return None
+            for wave in self._waves.values():
+                for task in wave.tasks:
+                    if (
+                        task.state == PENDING
+                        and task.attempts < self.config.max_task_attempts
+                    ):
+                        task.state = LEASED
+                        task.agent_id = agent_id
+                        task.agent_name = agent.name
+                        task.acknowledged = False
+                        task.lease_expires = now + self.config.lease_seconds
+                        return {
+                            "task_id": self._task_id(wave, task),
+                            "payload": task.payload,
+                            "lease_seconds": self.config.lease_seconds,
+                        }
+        return None
+
+    def complete(
+        self,
+        agent_id: str,
+        task_id: str,
+        result: Optional[bytes] = None,
+        error: Optional[str] = None,
+    ) -> bool:
+        """Accept a completion iff the agent still holds the task's lease.
+
+        Returns False (never raises) for stale or duplicate completions --
+        the lease expired and was re-granted, the wave was closed, or the
+        task already completed -- so an agent retrying a dropped ``complete``
+        is always safe.
+        """
+        self.reap()
+        with self._lock:
+            located = self._find_task(task_id)
+            if located is None:
+                self.stale_completions += 1
+                self._m_stale.inc()
+                return False
+            _wave, task = located
+            if task.state != LEASED or task.agent_id != agent_id:
+                self.stale_completions += 1
+                self._m_stale.inc()
+                return False
+            task.state = DONE
+            task.result = result
+            task.error = error
+            self.tasks_completed += 1
+            agent = self._agents.get(agent_id)
+            if agent is not None:
+                agent.tasks_done += 1
+                agent.last_seen = time.monotonic()
+        self._m_completed.labels(site="agent").inc()
+        return True
+
+    # -- supervision ---------------------------------------------------------------
+    def reap(self, now: Optional[float] = None) -> None:
+        """Expire dead agents and stale leases; return their tasks to pending.
+
+        Called inline from every protocol operation and from the pool's wait
+        loop, so supervision needs no background thread of its own.
+        """
+        now = time.monotonic() if now is None else now
+        timeout = self.config.agent_timeout
+        with self._lock:
+            dead = [
+                agent
+                for agent in self._agents.values()
+                if now - agent.last_seen > timeout
+            ]
+            for agent in dead:
+                del self._agents[agent.agent_id]
+                self.agents_died += 1
+                self._record_death(agent)
+            for wave in self._waves.values():
+                for task in wave.tasks:
+                    if task.state == LEASED and task.agent_id is not None:
+                        holder_alive = task.agent_id in self._agents
+                        if holder_alive and now < task.lease_expires:
+                            continue
+                        self._expire_lease(wave, task, holder_alive)
+        for _agent in dead:
+            self._m_agents_dead.inc()
+
+    def _record_death(self, agent: _Agent) -> None:
+        """Note an agent death on every wave holding its leases (locked)."""
+        for wave in self._waves.values():
+            held = [
+                task.index
+                for task in wave.tasks
+                if task.state == LEASED and task.agent_id == agent.agent_id
+            ]
+            if held:
+                wave.incidents.append(
+                    {
+                        "kind": "agent-dead",
+                        "agent": agent.name,
+                        "tasks": held,
+                    }
+                )
+
+    def _expire_lease(self, wave: Wave, task: _Task, holder_alive: bool) -> None:
+        """Return one expired lease to pending (locked)."""
+        previous = task.agent_name
+        task.state = PENDING
+        task.agent_id = None
+        task.agent_name = None
+        task.acknowledged = False
+        task.attempts += 1
+        self.reassignments += 1
+        self._m_reassigned.inc()
+        wave.incidents.append(
+            {
+                "kind": "lease-reassigned",
+                "task": task.index,
+                "agent": previous or "?",
+                "attempts": task.attempts,
+                "reason": "lease-expired" if holder_alive else "agent-dead",
+            }
+        )
+
+    # -- draining ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Stop granting leases; agents see ``draining`` and wind down."""
+        self._draining = True  # repro-lint: disable=THR001 -- one-way bool flip, atomic under the GIL; readers tolerate either value
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- internals -----------------------------------------------------------------
+    @staticmethod
+    def _task_id(wave: Wave, task: _Task) -> str:
+        return f"{wave.wave_id}:{task.index}"
+
+    def _find_task(self, task_id: str) -> Optional[Tuple[Wave, _Task]]:
+        wave_id, _, index_text = task_id.partition(":")
+        wave = self._waves.get(wave_id)
+        if wave is None:
+            return None
+        try:
+            index = int(index_text)
+        except ValueError:
+            return None
+        if not 0 <= index < len(wave.tasks):
+            return None
+        return wave, wave.tasks[index]

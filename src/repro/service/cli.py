@@ -167,6 +167,7 @@ def _status_row(status: Dict[str, Any]) -> str:
 
 # -- subcommands ---------------------------------------------------------------------
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.fleet.supervisor import FleetConfig
     from repro.service.daemon import RunService
 
     service = RunService(
@@ -179,6 +180,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size,
         flush_ms=args.flush_ms,
         max_queue=args.max_queue,
+        fleet=FleetConfig(
+            heartbeat_interval=args.heartbeat_interval,
+            lease_seconds=args.lease_seconds,
+        ),
     )
     print(
         f"run service listening on {service.url} "
@@ -189,19 +194,76 @@ def cmd_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     stop = threading.Event()
+    drain_requested = threading.Event()
 
-    def _handle_signal(signum, frame):  # noqa: ARG001
+    def _handle_sigint(signum, frame):  # noqa: ARG001
         stop.set()
 
-    signal.signal(signal.SIGINT, _handle_signal)
-    signal.signal(signal.SIGTERM, _handle_signal)
+    def _handle_sigterm(signum, frame):  # noqa: ARG001
+        # SIGTERM (the orchestrator's polite kill) drains; SIGINT (an
+        # operator's ctrl-C) still stops immediately.
+        drain_requested.set()
+        stop.set()
+
+    signal.signal(signal.SIGINT, _handle_sigint)
+    signal.signal(signal.SIGTERM, _handle_sigterm)
     service.start()
     try:
         while not stop.wait(timeout=0.5):
             pass
+        if drain_requested.is_set():
+            print(
+                "draining: refusing new submissions, checkpointing in-flight "
+                "runs, winding down fleet agents",
+                flush=True,
+            )
+            checkpointed = service.drain(timeout=args.drain_timeout)
+            for run_id in checkpointed:
+                print(f"drained run {run_id} (resumable checkpoint)", flush=True)
+            print("drain complete", flush=True)
     finally:
         service.shutdown()
         print("run service stopped", flush=True)
+    return 0
+
+
+def cmd_agent(args: argparse.Namespace) -> int:
+    """Run one fleet worker agent against a serve daemon."""
+    from repro.fleet.agent import WorkerAgent
+
+    agent = WorkerAgent(
+        args.url,
+        name=args.name,
+        timeout=args.timeout,
+        register_timeout=args.register_timeout,
+        daemon_timeout=args.daemon_timeout,
+    )
+
+    def _handle_signal(signum, frame):  # noqa: ARG001
+        agent.stop()
+
+    signal.signal(signal.SIGINT, _handle_signal)
+    signal.signal(signal.SIGTERM, _handle_signal)
+    print(f"worker agent joining fleet at {args.url}", flush=True)
+    code = agent.run()
+    if code != 0:
+        print(
+            f"error: no daemon reachable at {args.url} within "
+            f"{args.register_timeout}s",
+            file=sys.stderr,
+        )
+        return code
+    if agent.draining:
+        reason = "daemon draining"
+    elif agent.lost_daemon:
+        reason = "daemon unreachable"
+    else:
+        reason = "stopped"
+    print(
+        f"agent {agent.name or '?'} exiting ({reason}): "
+        f"{agent.tasks_done} task(s) completed",
+        flush=True,
+    )
     return 0
 
 
@@ -458,6 +520,55 @@ def add_service_subparsers(subparsers: argparse._SubParsersAction) -> None:
         default=256,
         help="queued rows beyond this are rejected with HTTP 429",
     )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        help="fleet agents heartbeat this often (seconds)",
+    )
+    serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=15.0,
+        help="unacknowledged fleet task leases expire after this long",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="SIGTERM drain waits this long for in-flight runs to checkpoint",
+    )
+
+    agent = subparsers.add_parser(
+        "agent", help="run a fleet worker agent against a serve daemon"
+    )
+    agent.add_argument(
+        "--url",
+        required=True,
+        help="address of the repro-search serve daemon to join",
+    )
+    agent.add_argument(
+        "--name", default=None, help="agent display name (default: generated)"
+    )
+    agent.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-request HTTP timeout (seconds)",
+    )
+    agent.add_argument(
+        "--register-timeout",
+        type=float,
+        default=30.0,
+        help="give up if the daemon is unreachable for this long",
+    )
+    agent.add_argument(
+        "--daemon-timeout",
+        type=float,
+        default=60.0,
+        help="after joining, exit once the daemon has been continuously "
+        "unreachable for this long",
+    )
 
     submit = subparsers.add_parser(
         "submit", help="submit a run spec to the service (or runs root)"
@@ -564,6 +675,7 @@ def add_service_subparsers(subparsers: argparse._SubParsersAction) -> None:
 
 SERVICE_COMMANDS = {
     "serve": cmd_serve,
+    "agent": cmd_agent,
     "submit": cmd_submit,
     "status": cmd_status,
     "tail": cmd_tail,

@@ -21,30 +21,44 @@ Endpoints (JSON unless noted)::
     GET  /models                   zoo entries (+ live serving stats)
     POST /models/promote           {"run_id", "name"?, "episode"?} -> manifest
     POST /models/<name>/predict    {"inputs": [[...], ...]} -> {"predictions"}
+    GET  /agents                   registered fleet agents + lease counts
+    POST /agents/register          {"name"?} -> agent id + timing contract
+    POST /agents/heartbeat         {"agent_id", "active_tasks"} -> {"ok"}
+    POST /agents/lease             {"agent_id"} -> {"task": {...} | null}
+    POST /agents/complete          {"agent_id", "task_id", "result"} -> {"accepted"}
+
+The ``/agents/*`` endpoints are the worker-fabric protocol (see
+:mod:`repro.fleet`): task payloads and results travel base64-encoded inside
+the JSON envelope.
 
 Errors are structured: ``{"error": {"type", "message"}}`` with 400 for
-invalid specs/JSON, 404 for unknown runs/models/endpoints, 408 for a body
-read that timed out, 409 for a report requested before the run finished,
-411/413 for missing-length/oversized bodies (validated from the headers
-*before* any body byte is read) and 429 when a model's serving queue is
-full.  A connection-level timeout (``request_timeout``) drops stalled
-clients so they cannot wedge a worker thread.
+invalid specs/JSON, 404 for unknown runs/models/agents/endpoints, 408 for a
+body read that timed out, 409 for a report requested before the run
+finished, 411/413 for missing-length/oversized bodies (validated from the
+headers *before* any body byte is read), 429 when a model's serving queue is
+full and 503 once the daemon is draining (new submissions/resumes refused).
+A connection-level timeout (``request_timeout``) drops stalled clients so
+they cannot wedge a worker thread.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.api.spec import RunSpec
+from repro.fleet.pool import install_supervisor, installed_supervisor
+from repro.fleet.supervisor import FleetConfig, FleetSupervisor, UnknownAgent
 from repro.obs import metrics as obs_metrics
 from repro.service import registry as reg
-from repro.service.errors import RunNotFound, RunNotReady
+from repro.service.errors import RunNotFound, RunNotReady, ServiceDraining
 from repro.service.local import LocalExecutor
 from repro.serving.batcher import QueueFull
 from repro.serving.registry import DEFAULT_ZOO_ROOT, ModelNotFound
@@ -65,6 +79,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
     @property
     def model_server(self) -> ModelServer:
         return self.server.model_server  # type: ignore[attr-defined]
+
+    @property
+    def supervisor(self) -> FleetSupervisor:
+        return self.server.supervisor  # type: ignore[attr-defined]
 
     def setup(self) -> None:
         # Connection-level timeout: a client that stalls mid-request (or
@@ -202,6 +220,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, "unknown-run", str(error))
         except ModelNotFound as error:
             self._send_error_json(404, "unknown-model", str(error))
+        except UnknownAgent as error:
+            self._send_error_json(404, "unknown-agent", str(error))
+        except ServiceDraining as error:
+            self._send_error_json(503, "draining", str(error))
         except RunNotReady as error:
             self._send_error_json(409, "run-not-ready", str(error))
         except QueueFull as error:
@@ -225,6 +247,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 return self._post_promote
             if method == "POST" and run_id is not None and action == "predict":
                 return self._post_predict
+            raise _NotFoundPath()
+        if root == "agents":
+            if method == "GET" and run_id is None:
+                return self._get_agents
+            ops = ("register", "heartbeat", "lease", "complete")
+            if method == "POST" and run_id in ops and action is None:
+                return getattr(self, f"_post_agent_{run_id}")
             raise _NotFoundPath()
         if root != "runs":
             raise _NotFoundPath()
@@ -351,6 +380,81 @@ class _RequestHandler(BaseHTTPRequestHandler):
         )
 
 
+    # -- fleet endpoints (the worker-fabric protocol; see repro.fleet) ---------------
+    def _get_agents(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        supervisor = self.supervisor
+        self._send_json(
+            200,
+            {
+                "agents": supervisor.agents_status(),
+                "draining": supervisor.draining,
+                "reassignments": supervisor.reassignments,
+            },
+        )
+
+    def _post_agent_register(
+        self, run_id: Optional[str], query: Dict[str, str]
+    ) -> None:
+        payload = self._read_json_body()
+        name = payload.get("name") if isinstance(payload, dict) else None
+        info = self.supervisor.register_agent(None if name is None else str(name))
+        self._send_json(201, info)
+
+    def _post_agent_heartbeat(
+        self, run_id: Optional[str], query: Dict[str, str]
+    ) -> None:
+        payload = self._read_json_body(required=True)
+        agent_id, active = self._agent_fields(payload)
+        self._send_json(200, self.supervisor.heartbeat(agent_id, active))
+
+    def _post_agent_lease(
+        self, run_id: Optional[str], query: Dict[str, str]
+    ) -> None:
+        payload = self._read_json_body(required=True)
+        agent_id, _active = self._agent_fields(payload)
+        grant = self.supervisor.lease(agent_id)
+        if grant is not None:
+            grant = dict(grant)
+            grant["payload"] = base64.b64encode(grant["payload"]).decode("ascii")
+        self._send_json(
+            200, {"task": grant, "draining": self.supervisor.draining}
+        )
+
+    def _post_agent_complete(
+        self, run_id: Optional[str], query: Dict[str, str]
+    ) -> None:
+        payload = self._read_json_body(required=True)
+        agent_id, _active = self._agent_fields(payload)
+        task_id = payload.get("task_id")
+        encoded = payload.get("result")
+        if not isinstance(task_id, str) or not isinstance(encoded, str):
+            raise _BadRequest(
+                "invalid-completion",
+                'body must be {"agent_id", "task_id", "result": <base64>}',
+            )
+        try:
+            result = base64.b64decode(encoded, validate=True)
+        except (ValueError, TypeError) as error:
+            raise _BadRequest("invalid-completion", f"result is not base64: {error}")
+        accepted = self.supervisor.complete(agent_id, task_id, result)
+        self._send_json(200, {"accepted": accepted})
+
+    @staticmethod
+    def _agent_fields(payload: Any) -> Tuple[str, List[str]]:
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("agent_id"), str
+        ):
+            raise _BadRequest(
+                "invalid-agent-request", 'body must carry an "agent_id" string'
+            )
+        active = payload.get("active_tasks") or []
+        if not isinstance(active, list):
+            raise _BadRequest(
+                "invalid-agent-request", '"active_tasks" must be a list of task ids'
+            )
+        return payload["agent_id"], [str(task_id) for task_id in active]
+
+
 class _HttpError(Exception):
     """A structured HTTP error with an explicit status code."""
 
@@ -387,12 +491,18 @@ class RunService:
         max_queue: int = 256,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+        fleet: Optional[FleetConfig] = None,
     ):
         # The daemon owns its runs root: re-enqueue runs a previous daemon
         # left queued and fail the ones it left mid-flight (resumable).
         self.executor = LocalExecutor(
             runs_root=runs_root, max_workers=max_workers, recover=True
         )
+        # The fleet supervisor is installed process-wide so engine-created
+        # pools (EngineConfig(backend="fleet")) running inside this daemon's
+        # worker threads find it by name.
+        self.supervisor = FleetSupervisor(fleet or FleetConfig())
+        install_supervisor(self.supervisor)
         self.model_server = ModelServer(
             zoo_root=zoo_root,
             max_batch_size=max_batch_size,
@@ -403,6 +513,7 @@ class RunService:
         self.server.daemon_threads = True
         self.server.executor = self.executor  # type: ignore[attr-defined]
         self.server.model_server = self.model_server  # type: ignore[attr-defined]
+        self.server.supervisor = self.supervisor  # type: ignore[attr-defined]
         self.server.quiet = quiet  # type: ignore[attr-defined]
         self.server.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
         self.server.request_timeout = request_timeout  # type: ignore[attr-defined]
@@ -432,12 +543,35 @@ class RunService:
         """Serve on the calling thread until :meth:`shutdown`."""
         self.server.serve_forever()
 
+    def drain(self, timeout: Optional[float] = 30.0) -> List[str]:
+        """Graceful wind-down (the SIGTERM path); HTTP keeps answering.
+
+        The fleet supervisor stops granting leases (agents see ``draining``
+        and exit after their current task), the executor refuses new
+        submissions with 503 and checkpoints everything in flight, and
+        status/report/events endpoints stay up throughout so clients can
+        observe the drain.  Follow with :meth:`shutdown` to stop serving.
+        Returns the ids of the runs that were checkpointed mid-flight.
+        """
+        self.supervisor.drain()
+        drained = self.executor.drain(timeout=timeout)
+        # Idle agents only learn of the drain from a heartbeat response;
+        # linger one heartbeat generation so every live agent hears it
+        # before shutdown() takes the HTTP endpoints away.
+        if self.supervisor.alive_agents() > 0:
+            time.sleep(
+                min(2.5 * self.supervisor.config.heartbeat_interval, 10.0)
+            )
+        return drained
+
     def shutdown(self) -> None:
         """Stop accepting requests and wind down the worker pool."""
         self.server.shutdown()
         self.server.server_close()
         self.model_server.close()
         self.executor.shutdown(wait=False)
+        if installed_supervisor() is self.supervisor:
+            install_supervisor(None)
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None

@@ -54,6 +54,21 @@ class RunNotReady(RuntimeError):
         self.state = state
 
 
+class ServiceDraining(RuntimeError):
+    """The service is shutting down and no longer accepts new work.
+
+    Raised for submissions (and mapped to HTTP 503 by the daemon) once a
+    drain has begun; in-flight runs continue to checkpoint and finish.
+    """
+
+    def __init__(self, what: str = "submission"):
+        super().__init__(
+            f"the run service is draining and rejected the {what}; "
+            f"retry against another instance or after restart"
+        )
+        self.what = what
+
+
 class ServiceError(RuntimeError):
     """The run service answered with an unexpected error or is unreachable."""
 

@@ -38,7 +38,12 @@ from repro.engine.engine import StopToken
 from repro.engine.events import EngineEvent
 from repro.obs import metrics as obs_metrics
 from repro.service import registry as reg
-from repro.service.errors import RunCancelled, RunNotFound, RunNotReady
+from repro.service.errors import (
+    RunCancelled,
+    RunNotFound,
+    RunNotReady,
+    ServiceDraining,
+)
 from repro.service.events import EventLog, tail_telemetry
 from repro.service.registry import RunRegistry
 
@@ -88,6 +93,7 @@ class LocalExecutor:
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._workers: List[threading.Thread] = []
         self._busy_slots = 0
+        self._draining = False
         self._register_metric_callbacks()
         if recover:
             if self.registry is None:
@@ -166,6 +172,8 @@ class LocalExecutor:
         here, synchronously, so a bad submission fails loudly at the
         submitter, not inside a worker thread.
         """
+        if self._draining:
+            raise ServiceDraining("submission")
         resolved = _resolve_spec(spec)
         engine = options.get("engine")
         if (options.get("train_dataset") is None) != (
@@ -232,6 +240,8 @@ class LocalExecutor:
 
     def resume(self, run_id: str) -> str:
         """Re-queue a registered run from its checkpoint (same run id)."""
+        if self._draining:
+            raise ServiceDraining("resume")
         registry = self.registry
         if registry is None:
             raise ValueError(
@@ -294,6 +304,42 @@ class LocalExecutor:
             finally:
                 self._queue.task_done()
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout: Optional[float] = 30.0) -> List[str]:
+        """Graceful wind-down: refuse new work, checkpoint what is running.
+
+        New submissions/resumes raise :class:`ServiceDraining` from the
+        moment this returns control flow to the caller.  Every run already
+        *executing* gets a cooperative stop request -- the engine halts at
+        its next wave boundary and leaves a resumable checkpoint -- and the
+        drain waits (up to ``timeout`` seconds total) for those runs to
+        finalize.  Queued-but-unstarted runs are left queued on disk: a
+        registry-mode successor re-enqueues them on recovery, so no accepted
+        work is lost.  Returns the ids of the runs that were checkpointed.
+        """
+        self._draining = True  # repro-lint: disable=THR001 -- one-way bool flip, atomic under the GIL; submit observes either value safely
+        with self._lock:
+            in_flight = [
+                run
+                for run in self._runs.values()
+                if run.started and not run.done.is_set()
+            ]
+        for run in in_flight:
+            run.stop_token.request()
+            if self.registry is not None:
+                self.registry.request_cancel(run.run_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for run in in_flight:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            run.done.wait(timeout=remaining)
+        self.shutdown(wait=True)
+        return [run.run_id for run in in_flight]
+
     def shutdown(self, wait: bool = True) -> None:
         """Stop the worker pool; queued-but-unstarted runs stay queued."""
         with self._lock:
@@ -308,6 +354,12 @@ class LocalExecutor:
     # -- execution -----------------------------------------------------------------
     def _execute(self, run_id: str) -> None:
         run = self._runs[run_id]
+        if self._draining and not run.started:
+            # A worker dequeued this run after the drain began: leave it
+            # queued (its on-disk state is untouched) for a recovering
+            # successor to adopt instead of starting work we would only
+            # have to interrupt.
+            return
         with self._lock:
             if run.done.is_set():
                 return  # cancelled while queued

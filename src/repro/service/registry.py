@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 import uuid
 from typing import Any, Dict, List, Optional
@@ -41,6 +42,36 @@ FINISHED = "finished"
 FAILED = "failed"
 CANCELLED = "cancelled"
 TERMINAL_STATES = (FINISHED, FAILED, CANCELLED)
+
+
+def atomic_write_json(path: str, payload: Any) -> None:
+    """Durably replace ``path`` with ``payload`` as JSON; never torn, never
+    clobbered by a concurrent writer.
+
+    The temp file comes from ``mkstemp`` *in the destination directory* --
+    unique per writer (two daemons on a shared runs root cannot truncate
+    each other's half-written temp file, unlike a fixed ``<path>.tmp``) and
+    on the same filesystem, so the final ``os.replace`` is atomic.  The
+    ``fsync`` before the rename keeps a power loss from leaving the new name
+    pointing at not-yet-flushed data; without it a crashed daemon could
+    leave exactly the torn JSON this function exists to prevent.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=f".{os.path.basename(path)}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except FileNotFoundError:
+            pass
+        raise
 
 
 def new_run_id() -> str:
@@ -110,18 +141,17 @@ class RunRegistry:
         run_id = run_id or new_run_id()
         run_dir = self.run_dir(run_id)
         os.makedirs(run_dir, exist_ok=True)
-        spec.to_file(self.spec_path(run_id))
+        # The archived spec is resume-critical state: write it atomically so
+        # a daemon killed mid-create never leaves a torn run_spec.json a
+        # recovering successor would refuse to re-enqueue.
+        atomic_write_json(self.spec_path(run_id), spec.to_dict())
         status = initial_status(run_id, spec, run_dir=run_dir)
         self.write_status(status)
         return status
 
     def write_status(self, status: Dict[str, Any]) -> None:
         """Atomically persist a status dict (readers never see a torn write)."""
-        path = self.status_path(status["run_id"])
-        tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(status, handle, indent=2, sort_keys=True)
-        os.replace(tmp, path)
+        atomic_write_json(self.status_path(status["run_id"]), status)
 
     def load_status(self, run_id: str) -> Dict[str, Any]:
         path = self.status_path(run_id)
@@ -169,10 +199,7 @@ class RunRegistry:
     # -- report -------------------------------------------------------------------
     def save_report(self, run_id: str, report: Dict[str, Any]) -> str:
         path = self.report_path(run_id)
-        tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
-        os.replace(tmp, path)
+        atomic_write_json(path, report)
         return path
 
     def load_report(self, run_id: str) -> Optional[Dict[str, Any]]:

@@ -8,6 +8,14 @@ wire format: a submission POSTs the spec's canonical dict, and everything
 that comes back (statuses, reports, events) is plain JSON -- events are
 rebuilt into typed :class:`~repro.engine.events.EngineEvent` objects via
 ``EngineEvent.from_dict``, so consumers cannot tell the transports apart.
+
+Transport faults are handled by the fleet's shared
+:class:`~repro.fleet.retry.RetryPolicy`: connection-refused (a daemon
+restarting) and 5xx answers (a daemon draining) retry on its deterministic
+backoff schedule, while 4xx answers and non-idempotent calls -- submitting,
+resuming, promoting -- never retry (a duplicate POST would duplicate the
+work).  Every request carries an explicit timeout, so a stalled read fails
+fast instead of wedging the caller forever.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.api.run import _resolve_spec
 from repro.engine.events import EngineEvent
+from repro.fleet.retry import RetryPolicy
 from repro.service import registry as reg
 from repro.service.errors import (
     RunCancelled,
@@ -36,9 +45,15 @@ _JSON_HEADERS = {"Content-Type": "application/json"}
 class ServiceExecutor:
     """Talks to a ``repro-search serve`` daemon over HTTP."""
 
-    def __init__(self, base_url: str, timeout: float = 10.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry or RetryPolicy()
 
     # -- HTTP plumbing -------------------------------------------------------------
     def _request(
@@ -48,19 +63,35 @@ class ServiceExecutor:
         payload: Optional[Dict[str, Any]] = None,
         run_id: Optional[str] = None,
         timeout: Optional[float] = None,
+        idempotent: bool = True,
+        max_attempts: Optional[int] = None,
     ) -> Dict[str, Any]:
+        """One JSON round trip under the shared retry policy.
+
+        ``idempotent=False`` pins the call to a single attempt -- the
+        resubmission of a mutating POST whose *response* was lost could have
+        landed twice.  Reads and fenced/cancel-style POSTs retry through
+        connection faults and 5xx answers on the policy's deterministic
+        backoff schedule; 4xx answers surface immediately.
+        """
         data = None if payload is None else json.dumps(payload).encode("utf-8")
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=data,
-            headers=_JSON_HEADERS if data is not None else {},
-            method=method,
-        )
-        try:
+
+        def attempt() -> Dict[str, Any]:
+            request = urllib.request.Request(
+                f"{self.base_url}{path}",
+                data=data,
+                headers=_JSON_HEADERS if data is not None else {},
+                method=method,
+            )
             with urllib.request.urlopen(
                 request, timeout=self.timeout if timeout is None else timeout
             ) as response:
                 return json.load(response)
+
+        try:
+            return self.retry.call(
+                attempt, idempotent=idempotent, max_attempts=max_attempts
+            )
         except urllib.error.HTTPError as error:
             raise self._map_error(error, run_id) from None
         except urllib.error.URLError as error:
@@ -102,13 +133,21 @@ class ServiceExecutor:
                 " (put the engine section in the spec, resume by run id)"
             )
         resolved = _resolve_spec(spec)
-        response = self._request("POST", "/runs", payload=resolved.to_dict())
+        # A retried submission whose first response was dropped would enqueue
+        # the run twice -- one attempt only.
+        response = self._request(
+            "POST", "/runs", payload=resolved.to_dict(), idempotent=False
+        )
         return str(response["run_id"])
 
     def resume(self, run_id: str) -> str:
         quoted = urllib.parse.quote(run_id, safe="")
         response = self._request(
-            "POST", f"/runs/{quoted}/resume", payload={}, run_id=run_id
+            "POST",
+            f"/runs/{quoted}/resume",
+            payload={},
+            run_id=run_id,
+            idempotent=False,  # a duplicate resume re-queues the run twice
         )
         return str(response["run_id"])
 
@@ -191,6 +230,7 @@ class ServiceExecutor:
             payload=payload,
             run_id=str(payload.get("run_id", "")),
             timeout=max(self.timeout, 600.0),
+            idempotent=False,  # a duplicate promotion moves `latest` again
         )
         return dict(response["model"])
 
@@ -198,8 +238,10 @@ class ServiceExecutor:
         return list(self._request("GET", "/models")["models"])
 
     def healthy(self) -> bool:
-        """True when the daemon answers its health endpoint."""
+        """True when the daemon answers its health endpoint (single probe)."""
         try:
-            return bool(self._request("GET", "/healthz").get("ok"))
+            return bool(
+                self._request("GET", "/healthz", max_attempts=1).get("ok")
+            )
         except ServiceError:
             return False
