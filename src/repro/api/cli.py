@@ -99,6 +99,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="continue from the checkpoint in the spec's engine.run_dir",
     )
     add_spec_arguments(run_parser)
+    # Short aliases for the generated --engine-store-* flags: pointing a run
+    # at a shared artifact store is common enough to deserve first-class
+    # spelling (they share the override dests, so either spelling wins).
+    run_parser.add_argument(
+        "--store-root",
+        dest="override_engine.store_root",
+        default=None,
+        metavar="DIR",
+        help="alias for --engine-store-root (local artifact-store directory)",
+    )
+    run_parser.add_argument(
+        "--store-url",
+        dest="override_engine.store_url",
+        default=None,
+        metavar="URL",
+        help="alias for --engine-store-url (shared store daemon, "
+        "e.g. http://127.0.0.1:8765)",
+    )
 
     validate_parser = subparsers.add_parser(
         "validate", help="parse and validate a spec, print its canonical form"

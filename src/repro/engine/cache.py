@@ -11,35 +11,165 @@ configuration, device, dataset contents).  This generalises the paper's
 the timing constraint, the cache rejects children that have already been
 measured.
 
-The cache is an in-memory LRU with optional on-disk persistence (one JSON
-file per entry under ``directory``), so long searches can reuse evaluations
-across process restarts.
+Three tiers, consulted in order:
+
+1. an in-memory LRU,
+2. optional on-disk persistence (one JSON file per entry under
+   ``directory``), so long searches reuse evaluations across restarts --
+   a corrupted or truncated entry file (torn write, disk-full) is skipped
+   with a typed ``cache-entry-corrupt`` event, deleted and recomputed, never
+   a crash,
+3. an optional *shared* tier (:class:`SharedCacheTier`) over a
+   :mod:`repro.store` artifact store, read-through/write-through, so
+   concurrent engines on different hosts never train the same
+   ``(context, child, fidelity)`` twice.  Tier payloads are the canonical
+   JSON of the result, stored content-addressed and looked up through a
+   fingerprint-named ref, so a fetched result is bit-for-bit the one some
+   other engine computed.  A key that missed remotely is negatively cached
+   and not asked for again until this process publishes it.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.evaluator import EvaluationResult
+from repro.engine.events import CACHE_ENTRY_CORRUPT
 from repro.engine.serde import result_from_dict, result_to_dict
 from repro.obs import metrics as obs_metrics
+from repro.utils.fingerprint import canonical_json
 from repro.utils.serialization import load_json, save_json
+
+# Receives (event kind, JSON payload); the engine wires it to its event bus.
+CacheEventCallback = Callable[[str, Dict[str, Any]], None]
+
+# Everything a malformed cache payload can raise while being decoded and
+# rebuilt into an EvaluationResult.  OSError covers unreadable files.
+_CORRUPT_ENTRY_ERRORS = (ValueError, KeyError, TypeError, OSError)
+
+
+class SharedCacheTier:
+    """Read-through/write-through memoization over an artifact store.
+
+    ``store`` is any object speaking the store protocol (``get``/``put``/
+    ``get_ref``/``set_ref``) -- in practice a
+    :class:`~repro.store.tiered.TieredStore`, so unreachability degrades
+    inside the store layer and never surfaces here.  A result is stored as
+    its canonical JSON bytes under their content key, with a ref named by
+    the cache fingerprint pointing at it; both halves are hash-verified on
+    the way back, so a fetched result is bit-for-bit the published one.
+    """
+
+    def __init__(self, store: Any):
+        self.store = store
+        self.hits = 0
+        self.misses = 0
+        self.suppressed = 0
+        self.publishes = 0
+        # Fingerprints known absent remotely: a shared-tier miss is not
+        # retried until we publish the key ourselves (negative-lookup
+        # suppression -- each miss costs at most one remote round trip).
+        self._negative: Set[str] = set()
+        self._tracer = None
+        self.bind_metrics(obs_metrics.get_registry())
+
+    def bind_metrics(self, registry: "obs_metrics.MetricsRegistry") -> None:
+        self._m_lookups = registry.counter(
+            "repro_store_tier_lookups_total",
+            "Shared-tier lookups by result",
+            labelnames=("result",),
+        )
+        self._m_seconds = registry.histogram(
+            "repro_store_tier_seconds",
+            "Shared-tier operation latency",
+            labelnames=("op",),
+        )
+        self._m_publishes = registry.counter(
+            "repro_store_tier_publishes_total", "Results published to the tier"
+        )
+        bind = getattr(self.store, "bind_metrics", None)
+        if bind is not None:
+            bind(registry)
+
+    def bind_tracer(self, tracer: Any) -> None:
+        """Record fetch/publish round trips as spans on a ``store`` timeline."""
+        self._tracer = tracer
+
+    @property
+    def degraded(self) -> bool:
+        return bool(getattr(self.store, "degraded", False))
+
+    def fetch(self, key: str) -> Optional[EvaluationResult]:
+        """The tier's result for ``key``, or None (miss/suppressed/corrupt)."""
+        if key in self._negative:
+            self.suppressed += 1
+            self._m_lookups.labels(result="suppressed").inc()
+            return None
+        wall_start = time.time()  # repro-lint: disable=DET001 -- telemetry span timestamp; never enters results or cache keys
+        start = time.perf_counter()
+        content_key = self.store.get_ref(key)
+        data = None if content_key is None else self.store.get(content_key)
+        elapsed = time.perf_counter() - start
+        self._m_seconds.labels(op="fetch").observe(elapsed)
+        self._record_span("store:fetch", wall_start, elapsed)
+        result: Optional[EvaluationResult] = None
+        if data is not None:
+            try:
+                result = result_from_dict(json.loads(data.decode("utf-8")))
+            except _CORRUPT_ENTRY_ERRORS:
+                result = None
+        if result is None:
+            self._negative.add(key)
+            self.misses += 1
+            self._m_lookups.labels(result="miss").inc()
+            return None
+        self.hits += 1
+        self._m_lookups.labels(result="hit").inc()
+        return result
+
+    def publish(self, key: str, result: EvaluationResult) -> None:
+        """Write ``result`` through to the tier under fingerprint ``key``."""
+        payload = canonical_json(result_to_dict(result)).encode("utf-8")
+        wall_start = time.time()  # repro-lint: disable=DET001 -- telemetry span timestamp; never enters results or cache keys
+        start = time.perf_counter()
+        content_key = self.store.put(payload)
+        self.store.set_ref(key, content_key)
+        elapsed = time.perf_counter() - start
+        self._m_seconds.labels(op="publish").observe(elapsed)
+        self._record_span("store:publish", wall_start, elapsed)
+        self._negative.discard(key)
+        self.publishes += 1
+        self._m_publishes.inc()
+
+    def _record_span(self, name: str, wall_start: float, duration: float) -> None:
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record(name, start=wall_start, duration=duration, tid="store")
 
 
 class EvaluationCache:
     """LRU cache mapping content fingerprints to evaluation results."""
 
-    def __init__(self, capacity: int = 1024, directory: Optional[str] = None):
+    def __init__(
+        self,
+        capacity: int = 1024,
+        directory: Optional[str] = None,
+        tier: Optional[SharedCacheTier] = None,
+    ):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self.directory = directory
+        self.tier = tier
         self.hits = 0
         self.misses = 0
+        self.remote_hits = 0
         self._entries: "OrderedDict[str, EvaluationResult]" = OrderedDict()
+        self._emit_event: Optional[CacheEventCallback] = None
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
         self.bind_metrics(obs_metrics.get_registry())
@@ -63,6 +193,20 @@ class EvaluationCache:
         self._m_entries = registry.gauge(
             "repro_cache_entries", "In-memory evaluation-cache entries"
         )
+        self._m_corrupt = registry.counter(
+            "repro_cache_corrupt_entries_total",
+            "On-disk cache entries dropped as unreadable",
+        )
+        if self.tier is not None:
+            self.tier.bind_metrics(registry)
+
+    def bind_events(self, callback: Optional[CacheEventCallback]) -> None:
+        """Wire typed warning events (corrupt entries) to the engine's bus."""
+        self._emit_event = callback
+
+    def bind_tracer(self, tracer: Any) -> None:
+        if self.tier is not None:
+            self.tier.bind_tracer(tracer)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -92,18 +236,60 @@ class EvaluationCache:
             self.hits += 1
             return entry
         if self.directory is not None and self._on_disk(key):
-            entry = result_from_dict(load_json(self._entry_path(key)))
-            self._insert(key, entry)
-            self.hits += 1
-            return entry
+            entry = self._load_disk_entry(key)
+            if entry is not None:
+                self._insert(key, entry)
+                self.hits += 1
+                return entry
+        if self.tier is not None:
+            entry = self.tier.fetch(key)
+            if entry is not None:
+                # A shared-tier hit becomes a local entry (memory + disk),
+                # so repeats of this key never leave the process again.
+                self._insert(key, entry)
+                if self.directory is not None:
+                    save_json(self._entry_path(key), result_to_dict(entry))
+                self.hits += 1
+                self.remote_hits += 1
+                return entry
         self.misses += 1
         return None
+
+    def _load_disk_entry(self, key: str) -> Optional[EvaluationResult]:
+        """One on-disk entry, or None after dropping an unreadable file.
+
+        Torn writes happen (a run killed mid-``save_json``, a full disk); a
+        cache must treat them as misses, not crashes.  The broken file is
+        deleted so the recomputed result can persist cleanly, and the drop
+        is announced as a typed ``cache-entry-corrupt`` event.
+        """
+        path = self._entry_path(key)
+        try:
+            return result_from_dict(load_json(path))
+        except _CORRUPT_ENTRY_ERRORS as error:
+            self._m_corrupt.inc()
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            if self._emit_event is not None:
+                self._emit_event(
+                    CACHE_ENTRY_CORRUPT,
+                    {
+                        "key": key,
+                        "path": path,
+                        "error": f"{type(error).__name__}: {error}",
+                    },
+                )
+            return None
 
     def put(self, key: str, result: EvaluationResult) -> None:
         """Memoize ``result`` under ``key`` (and persist it when configured)."""
         self._insert(key, result)
         if self.directory is not None:
             save_json(self._entry_path(key), result_to_dict(result))
+        if self.tier is not None:
+            self.tier.publish(key, result)
 
     def _insert(self, key: str, result: EvaluationResult) -> None:
         self._entries[key] = result
@@ -136,4 +322,5 @@ class EvaluationCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.remote_hits = 0
         self._m_entries.set(0)

@@ -51,7 +51,7 @@ from repro.core.pipeline import (
 from repro.core.producer import ChildArchitecture
 from repro.core.results import EpisodeRecord, SearchHistory
 from repro.engine import checkpoint as checkpoint_io
-from repro.engine.cache import EvaluationCache
+from repro.engine.cache import EvaluationCache, SharedCacheTier
 from repro.engine.events import (
     BATCH_FINISHED,
     CACHE_HIT,
@@ -65,6 +65,7 @@ from repro.engine.events import (
     RUN_STARTED,
     SPAN,
     STAGE_FINISHED,
+    STORE_DEGRADED,
     WAVE_PROMOTED,
     WAVE_RESIZED,
     EngineEvent,
@@ -75,11 +76,9 @@ from repro.engine import workers as workers_module
 from repro.engine.workers import WorkerPool, create_pool, ensure_backend
 from repro.obs import metrics as obs_metrics
 from repro.obs.tracing import Tracer
-from repro.utils.fingerprint import (
-    array_fingerprint,
-    combine_fingerprints,
-    content_fingerprint,
-)
+from repro.store import LocalStore, RemoteStore, TieredStore
+from repro.store.freeze import fingerprint_payload
+from repro.utils.fingerprint import array_fingerprint, combine_fingerprints
 from repro.zoo.descriptors import ArchitectureDescriptor
 
 
@@ -126,6 +125,12 @@ class EngineConfig:
     cache: Optional[EvaluationCache] = None
     cache_capacity: int = 1024
     cache_dir: Optional[str] = None
+    # Shared artifact store (repro.store).  Either implies caching: a local
+    # store root is shared by every run pointed at it on this host, a store
+    # URL adds the daemon's cross-host tier.  Both set builds the full
+    # local-first/remote-fallback tiering.
+    store_root: Optional[str] = None
+    store_url: Optional[str] = None
     run_dir: Optional[str] = None
     # Write a checkpoint whenever at least this many episodes completed since
     # the last one (0 = only the final checkpoint, when run_dir is set).
@@ -299,7 +304,10 @@ class SearchEngine:
         self.metrics = obs_metrics.MetricsRegistry(parent=obs_metrics.get_registry())
         if self.cache is not None:
             self.cache.bind_metrics(self.metrics)
+            self.cache.bind_events(self._emit_cache_event)
         self.tracer = Tracer(self._emit_span)
+        if self.cache is not None:
+            self.cache.bind_tracer(self.tracer)
         self._m_waves = self.metrics.counter(
             "repro_engine_waves_total", "Waves completed"
         )
@@ -331,13 +339,46 @@ class SearchEngine:
     # -- construction helpers -----------------------------------------------------
     def _build_cache(self) -> Optional[EvaluationCache]:
         config = self.config
+        tier = self._build_store_tier()
         if config.cache is not None:
+            if tier is not None and config.cache.tier is None:
+                config.cache.tier = tier
             return config.cache
-        if config.use_cache or config.cache_dir is not None:
+        if config.use_cache or config.cache_dir is not None or tier is not None:
             return EvaluationCache(
-                capacity=config.cache_capacity, directory=config.cache_dir
+                capacity=config.cache_capacity,
+                directory=config.cache_dir,
+                tier=tier,
             )
         return None
+
+    def _build_store_tier(self) -> Optional[SharedCacheTier]:
+        """The shared memoization tier, when a store is configured.
+
+        ``store_root`` alone shares results across runs/processes on one
+        host through the filesystem; ``store_url`` adds (or is) the daemon's
+        cross-host tier.  Remote faults degrade inside the tiered store --
+        the engine only hears about it once, as a ``store-degraded`` event.
+        """
+        config = self.config
+        if config.store_root is None and config.store_url is None:
+            return None
+        local = (
+            LocalStore(config.store_root) if config.store_root is not None else None
+        )
+        remote = (
+            RemoteStore(config.store_url) if config.store_url is not None else None
+        )
+        store = TieredStore(
+            local=local, remote=remote, on_degraded=self._on_store_degraded
+        )
+        return SharedCacheTier(store)
+
+    def _on_store_degraded(self, info: Dict[str, Any]) -> None:
+        self._emit(STORE_DEGRADED, payload=info)
+
+    def _emit_cache_event(self, kind: str, payload: Dict[str, Any]) -> None:
+        self._emit(kind, payload=payload)
 
     @property
     def context_key(self) -> str:
@@ -382,7 +423,11 @@ class SearchEngine:
         for knob in ("precision", "inference_batch_size"):
             if training_context.get(knob) is None:
                 training_context.pop(knob, None)
-        return content_fingerprint(
+        # fingerprint_payload keeps the historical content_fingerprint keys
+        # for this JSON-shaped payload, and deterministically freezes any
+        # richer objects (custom datasets, injected callables) a subclassed
+        # search may have put into its context.
+        return fingerprint_payload(
             {
                 "training": training_context,
                 "reward": asdict(pipeline.reward),

@@ -184,11 +184,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
             heartbeat_interval=args.heartbeat_interval,
             lease_seconds=args.lease_seconds,
         ),
+        store_root=args.store_root,
+        store_max_bytes=(
+            None
+            if args.store_budget_mb is None
+            else int(args.store_budget_mb * 1024 * 1024)
+        ),
     )
     print(
         f"run service listening on {service.url} "
         f"(runs root {service.executor.registry.root}, "
         f"zoo root {service.model_server.zoo.root}, "
+        f"store root {service.store.root}, "
         f"{args.workers} worker slot{'s' if args.workers != 1 else ''}, "
         f"serving batch<={args.max_batch_size} flush={args.flush_ms}ms)",
         flush=True,
@@ -537,6 +544,17 @@ def add_service_subparsers(subparsers: argparse._SubParsersAction) -> None:
         type=float,
         default=30.0,
         help="SIGTERM drain waits this long for in-flight runs to checkpoint",
+    )
+    serve.add_argument(
+        "--store-root",
+        default=None,
+        help="shared artifact-store directory (default: <runs-root>/_store)",
+    )
+    serve.add_argument(
+        "--store-budget-mb",
+        type=float,
+        default=None,
+        help="evict least-recently-used store objects beyond this many MiB",
     )
 
     agent = subparsers.add_parser(

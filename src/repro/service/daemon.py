@@ -26,10 +26,20 @@ Endpoints (JSON unless noted)::
     POST /agents/heartbeat         {"agent_id", "active_tasks"} -> {"ok"}
     POST /agents/lease             {"agent_id"} -> {"task": {...} | null}
     POST /agents/complete          {"agent_id", "task_id", "result"} -> {"accepted"}
+    GET  /store/<key>              object bytes (octet-stream; 404 on miss)
+    PUT  /store/<key>              store raw bytes under their content key
+    HEAD /store/<key>              existence probe (200/404, no body)
+    POST /store/has                {"keys": [...]} -> {"present": {key: bool}}
+    GET  /store/refs/<name>        {"name", "key"} ref lookup (404 on miss)
+    PUT  /store/refs/<name>        {"key": <content key>} -> {"ok": true}
+    GET  /store/stats              the store's counters (hits, puts, evictions)
 
 The ``/agents/*`` endpoints are the worker-fabric protocol (see
 :mod:`repro.fleet`): task payloads and results travel base64-encoded inside
-the JSON envelope.
+the JSON envelope.  The ``/store/*`` endpoints are the shared
+content-addressed artifact store (see :mod:`repro.store`): engines pointed
+at this daemon with ``--store-url`` share evaluation results through it, so
+each unique ``(context, child, fidelity)`` trains once fleet-wide.
 
 Errors are structured: ``{"error": {"type", "message"}}`` with 400 for
 invalid specs/JSON, 404 for unknown runs/models/agents/endpoints, 408 for a
@@ -45,6 +55,7 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 import threading
 import time
 import urllib.parse
@@ -63,6 +74,9 @@ from repro.service.local import LocalExecutor
 from repro.serving.batcher import QueueFull
 from repro.serving.registry import DEFAULT_ZOO_ROOT, ModelNotFound
 from repro.serving.server import ModelServer
+from repro.store import KEY_PATTERN, LocalStore, StoreError
+
+DEFAULT_STORE_DIR = "_store"
 
 DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 DEFAULT_REQUEST_TIMEOUT = 30.0
@@ -84,6 +98,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def supervisor(self) -> FleetSupervisor:
         return self.server.supervisor  # type: ignore[attr-defined]
 
+    @property
+    def store(self) -> LocalStore:
+        return self.server.store  # type: ignore[attr-defined]
+
     def setup(self) -> None:
         # Connection-level timeout: a client that stalls mid-request (or
         # never sends one) gets dropped instead of pinning a worker thread.
@@ -98,6 +116,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # -- response helpers ----------------------------------------------------------
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if self.command == "HEAD":
+            # A HEAD response must not carry a body (it would desynchronise
+            # a keep-alive connection); status + headers say everything.
+            body = b""
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -105,6 +127,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_bytes(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
 
     def _send_error_json(self, status: int, kind: str, message: str) -> None:
         self._send_json(status, {"error": {"type": kind, "message": message}})
@@ -118,6 +148,15 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(encoded)
 
     def _read_json_body(self, required: bool = False) -> Any:
+        raw = self._read_body(required=required)
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise _BadRequest("invalid-json", f"request body is not JSON: {error}")
+
+    def _read_body(self, required: bool = False) -> bytes:
         """Validate the body from its headers *before* reading a byte.
 
         Missing ``Content-Length`` on a request that carries (or must carry)
@@ -136,7 +175,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     "not accepted)",
                     close=True,
                 )
-            return {}
+            return b""
         try:
             length = int(raw_length)
         except ValueError:
@@ -172,14 +211,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 400, "truncated-body",
                 f"declared {length} body bytes, received {len(raw)}", close=True
             )
-        if not raw:
-            if required:
-                raise _HttpError(411, "length-required", "request body required")
-            return {}
-        try:
-            return json.loads(raw.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as error:
-            raise _BadRequest("invalid-json", f"request body is not JSON: {error}")
+        if not raw and required:
+            raise _HttpError(411, "length-required", "request body required")
+        return raw
 
     def _route(self) -> Tuple[str, Optional[str], Optional[str], Dict[str, str]]:
         """Split the path into (root, run_id, action, query)."""
@@ -202,6 +236,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._dispatch("HEAD")
 
     def _dispatch(self, method: str) -> None:
         try:
@@ -228,6 +268,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(409, "run-not-ready", str(error))
         except QueueFull as error:
             self._send_error_json(429, "backpressure", str(error))
+        except StoreError as error:
+            self._send_error_json(400, "invalid-store-request", str(error))
         except ValueError as error:
             self._send_error_json(400, "invalid-spec", str(error))
         except Exception as error:  # no stack traces over the wire
@@ -254,6 +296,27 @@ class _RequestHandler(BaseHTTPRequestHandler):
             ops = ("register", "heartbeat", "lease", "complete")
             if method == "POST" and run_id in ops and action is None:
                 return getattr(self, f"_post_agent_{run_id}")
+            raise _NotFoundPath()
+        if root == "store":
+            # Object keys are 64-hex (KEY_PATTERN), so they can never
+            # collide with the "stats"/"refs"/"has" path literals.
+            if method == "GET" and run_id == "stats" and action is None:
+                return self._get_store_stats
+            if run_id == "refs" and action is not None:
+                name = urllib.parse.unquote(action)
+                if method == "GET":
+                    return lambda _id, query: self._get_store_ref(name, query)
+                if method == "PUT":
+                    return lambda _id, query: self._put_store_ref(name, query)
+            if method == "POST" and run_id == "has" and action is None:
+                return self._post_store_has
+            if run_id is not None and action is None:
+                if method == "GET":
+                    return self._get_store_object
+                if method == "HEAD":
+                    return self._head_store_object
+                if method == "PUT":
+                    return self._put_store_object
             raise _NotFoundPath()
         if root != "runs":
             raise _NotFoundPath()
@@ -380,6 +443,61 @@ class _RequestHandler(BaseHTTPRequestHandler):
         )
 
 
+    # -- store endpoints (the shared artifact store; see repro.store) ----------------
+    def _get_store_object(self, key: Optional[str], query: Dict[str, str]) -> None:
+        data = self.store.get(self._store_key(key))
+        if data is None:
+            raise _HttpError(404, "unknown-object", f"no object {key}")
+        self._send_bytes(200, data)
+
+    def _head_store_object(self, key: Optional[str], query: Dict[str, str]) -> None:
+        if not self.store.has(self._store_key(key)):
+            raise _HttpError(404, "unknown-object", f"no object {key}")
+        self._send_bytes(200, b"")
+
+    def _put_store_object(self, key: Optional[str], query: Dict[str, str]) -> None:
+        data = self._read_body(required=True)
+        # put_object verifies sha256(body) == key; a mismatch raises
+        # StoreCorruptWrite -> structured 400, nothing persisted.
+        self.store.put_object(self._store_key(key), data)
+        self._send_json(201, {"key": key, "size": len(data)})
+
+    def _post_store_has(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        payload = self._read_json_body(required=True)
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("keys"), list
+        ):
+            raise _BadRequest("invalid-store-request", 'body must be {"keys": [...]}')
+        keys = [self._store_key(str(key)) for key in payload["keys"]]
+        self._send_json(200, {"present": self.store.has_many(keys)})
+
+    def _get_store_ref(self, name: str, query: Dict[str, str]) -> None:
+        key = self.store.get_ref(self._store_key(name))
+        if key is None:
+            raise _HttpError(404, "unknown-ref", f"no ref {name}")
+        self._send_json(200, {"name": name, "key": key})
+
+    def _put_store_ref(self, name: str, query: Dict[str, str]) -> None:
+        payload = self._read_json_body(required=True)
+        if not isinstance(payload, dict) or not isinstance(payload.get("key"), str):
+            raise _BadRequest(
+                "invalid-store-request", 'body must be {"key": <content key>}'
+            )
+        self.store.set_ref(self._store_key(name), self._store_key(payload["key"]))
+        self._send_json(200, {"ok": True, "name": name})
+
+    def _get_store_stats(self, run_id: Optional[str], query: Dict[str, str]) -> None:
+        self._send_json(200, self.store.stats())
+
+    @staticmethod
+    def _store_key(key: Optional[str]) -> str:
+        if key is None or not KEY_PATTERN.match(key):
+            raise _BadRequest(
+                "invalid-store-key",
+                f"store keys are 64 lowercase hex characters, got {key!r}",
+            )
+        return key
+
     # -- fleet endpoints (the worker-fabric protocol; see repro.fleet) ---------------
     def _get_agents(self, run_id: Optional[str], query: Dict[str, str]) -> None:
         supervisor = self.supervisor
@@ -492,6 +610,8 @@ class RunService:
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
         fleet: Optional[FleetConfig] = None,
+        store_root: Optional[str] = None,
+        store_max_bytes: Optional[int] = None,
     ):
         # The daemon owns its runs root: re-enqueue runs a previous daemon
         # left queued and fail the ones it left mid-flight (resumable).
@@ -509,11 +629,19 @@ class RunService:
             max_delay_ms=flush_ms,
             max_queue=max_queue,
         )
+        # The shared artifact store lives under the runs root by default, so
+        # a restarted daemon serves every object its predecessor accepted.
+        self.store = LocalStore(
+            store_root or os.path.join(runs_root, DEFAULT_STORE_DIR),
+            max_bytes=store_max_bytes,
+        )
+        self.store.bind_metrics(obs_metrics.get_registry())
         self.server = ThreadingHTTPServer((host, port), _RequestHandler)
         self.server.daemon_threads = True
         self.server.executor = self.executor  # type: ignore[attr-defined]
         self.server.model_server = self.model_server  # type: ignore[attr-defined]
         self.server.supervisor = self.supervisor  # type: ignore[attr-defined]
+        self.server.store = self.store  # type: ignore[attr-defined]
         self.server.quiet = quiet  # type: ignore[attr-defined]
         self.server.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
         self.server.request_timeout = request_timeout  # type: ignore[attr-defined]

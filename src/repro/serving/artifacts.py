@@ -84,28 +84,39 @@ def model_content_hash(arrays: Dict[str, np.ndarray]) -> str:
 
 
 # -- deterministic npz ---------------------------------------------------------------
-def save_arrays(path: str, arrays: Dict[str, np.ndarray]) -> str:
-    """Write ``arrays`` as a byte-deterministic ``.npz`` archive.
+def arrays_to_bytes(arrays: Dict[str, np.ndarray]) -> bytes:
+    """``arrays`` as byte-deterministic ``.npz`` archive contents.
 
-    Equal inputs always produce equal files: member order is the sorted name
+    Equal inputs always produce equal bytes: member order is the sorted name
     order, members are stored uncompressed and every timestamp is the fixed
-    DOS epoch.  The write goes through a temp file + ``os.replace`` so a
-    concurrent reader of a dedupe blob never sees a torn archive.
+    DOS epoch.  This is what makes the archive content-addressable -- the
+    zoo stores it under ``sha256(bytes)`` and equal weights dedupe by key.
+    """
+    out = io.BytesIO()
+    with zipfile.ZipFile(out, "w", zipfile.ZIP_STORED) as archive:
+        for name in sorted(arrays):
+            buffer = io.BytesIO()
+            np.lib.format.write_array(
+                buffer, np.ascontiguousarray(arrays[name]), allow_pickle=False
+            )
+            info = zipfile.ZipInfo(f"{name}.npy", date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_STORED
+            info.external_attr = 0o600 << 16  # fixed mode bits
+            archive.writestr(info, buffer.getvalue())
+    return out.getvalue()
+
+
+def save_arrays(path: str, arrays: Dict[str, np.ndarray]) -> str:
+    """Write :func:`arrays_to_bytes` to ``path``.
+
+    The write goes through a temp file + ``os.replace`` so a concurrent
+    reader of a dedupe blob never sees a torn archive.
     """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     tmp = f"{path}.tmp"
     with open(tmp, "wb") as handle:
-        with zipfile.ZipFile(handle, "w", zipfile.ZIP_STORED) as archive:
-            for name in sorted(arrays):
-                buffer = io.BytesIO()
-                np.lib.format.write_array(
-                    buffer, np.ascontiguousarray(arrays[name]), allow_pickle=False
-                )
-                info = zipfile.ZipInfo(f"{name}.npy", date_time=_ZIP_EPOCH)
-                info.compress_type = zipfile.ZIP_STORED
-                info.external_attr = 0o600 << 16  # fixed mode bits
-                archive.writestr(info, buffer.getvalue())
+        handle.write(arrays_to_bytes(arrays))
     os.replace(tmp, path)
     return path
 
@@ -113,4 +124,10 @@ def save_arrays(path: str, arrays: Dict[str, np.ndarray]) -> str:
 def load_arrays(path: str) -> Dict[str, np.ndarray]:
     """Read an archive written by :func:`save_arrays`."""
     with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def load_arrays_bytes(data: bytes) -> Dict[str, np.ndarray]:
+    """Read :func:`arrays_to_bytes` output without touching the filesystem."""
+    with np.load(io.BytesIO(data), allow_pickle=False) as archive:
         return {name: archive[name] for name in archive.files}

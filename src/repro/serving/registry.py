@@ -3,7 +3,8 @@
 A zoo entry is the deployable form of one discovered child network::
 
     <zoo_root>/
-      _blobs/<weights_hash>.npz       content-hash-deduped weight archives
+      _blobs/objects/ab/cdef...       content-addressed weight archives
+                                      (a repro.store.LocalStore root)
       <name>/
         latest                        version pointer (plain text)
         <version>/
@@ -21,6 +22,13 @@ artifact is content-derived (no wall-clock anywhere), so promoting the same
 finished run twice writes byte-identical files and the weights blob dedupes
 by hash.  The version id *is* the content fingerprint of (spec, architecture,
 weights), truncated.
+
+Weight archives live in a :class:`repro.store.LocalStore` under ``_blobs/``
+(sharded ``objects/ab/...`` layout, hash-verified reads).  Manifests record
+both the store key (``weights_object``) and the zoo-root-relative path
+(``weights_blob``); entries promoted before the store migration carry only
+the legacy flat ``_blobs/<hash>.npz`` path, which :meth:`ZooRegistry.load_model`
+still reads.
 """
 
 from __future__ import annotations
@@ -28,6 +36,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.api.spec import RunSpec
 from repro.engine.serde import (
@@ -41,12 +51,14 @@ from repro.hardware.latency import estimate_latency_ms
 from repro.nn.module import Module
 from repro.nn.trainer import Trainer, TrainingConfig
 from repro.serving.artifacts import (
+    arrays_to_bytes,
     capture_model_arrays,
     load_arrays,
+    load_arrays_bytes,
     model_content_hash,
     restore_model_arrays,
-    save_arrays,
 )
+from repro.store import LocalStore
 from repro.service import registry as runs_registry
 from repro.service.errors import RunNotReady
 from repro.service.registry import RunRegistry
@@ -135,15 +147,19 @@ class ZooEntry:
 class ZooRegistry:
     """Creates and reads the versioned entries of one zoo root."""
 
-    def __init__(self, root: str = DEFAULT_ZOO_ROOT):
+    def __init__(self, root: str = DEFAULT_ZOO_ROOT, store: Optional[LocalStore] = None):
         self.root = os.path.abspath(root)
         os.makedirs(self.root, exist_ok=True)
+        # Weight archives are content-addressed: the blobs dir is a store
+        # root, so equal weights dedupe by key and reads are hash-verified.
+        self.store = store or LocalStore(os.path.join(self.root, BLOBS_DIR))
 
     # -- paths --------------------------------------------------------------------
     def entry_dir(self, name: str, version: str) -> str:
         return os.path.join(self.root, name, version)
 
     def blob_path(self, weights_hash: str) -> str:
+        """The pre-store flat blob path (still readable, no longer written)."""
         return os.path.join(self.root, BLOBS_DIR, f"{weights_hash}.npz")
 
     # -- listing / lookup ---------------------------------------------------------
@@ -196,9 +212,24 @@ class ZooRegistry:
             width_multiplier=float(payload["width_multiplier"]),
             rng=int(payload["init_seed"]),
         )
-        arrays = load_arrays(os.path.join(self.root, entry.manifest["weights_blob"]))
+        arrays = self._load_weights(entry.manifest)
         restore_model_arrays(model, arrays)
         return model, descriptor, entry
+
+    def _load_weights(self, manifest: Dict[str, Any]) -> Dict[str, np.ndarray]:
+        """A manifest's weight snapshot, store-first with a legacy fallback.
+
+        Entries promoted since the store migration carry ``weights_object``
+        (a content key); reading through the store verifies the archive
+        hash.  Older manifests only name the flat ``_blobs/<hash>.npz``
+        path, which remains readable in place.
+        """
+        key = manifest.get("weights_object")
+        if key is not None:
+            data = self.store.get(str(key))
+            if data is not None:
+                return load_arrays_bytes(data)
+        return load_arrays(os.path.join(self.root, manifest["weights_blob"]))
 
     # -- promotion ----------------------------------------------------------------
     def promote_run(
@@ -264,9 +295,10 @@ class ZooRegistry:
                 "pass an explicit --name"
             )
 
-        blob = self.blob_path(weights_hash)
-        if not os.path.exists(blob):
-            save_arrays(blob, arrays)
+        # Content-addressed publication: put() dedupes re-promotions of the
+        # same weights (equal bytes -> equal key -> one object on disk).
+        weights_payload = arrays_to_bytes(arrays)
+        weights_object = self.store.put(weights_payload)
 
         latencies = {
             device: estimate_latency_ms(descriptor, get_device(device))
@@ -285,7 +317,10 @@ class ZooRegistry:
             "spec_cache_key": spec_key,
             "descriptor_cache_key": arch_key,
             "weights_hash": weights_hash,
-            "weights_blob": os.path.join(BLOBS_DIR, f"{weights_hash}.npz"),
+            "weights_object": weights_object,
+            "weights_blob": os.path.join(
+                BLOBS_DIR, self.store.object_relpath(weights_object)
+            ),
             "init_seed": init_seed,
             # The shape served requests must have: the source dataset's
             # resolution, not the descriptor's paper-scale input_resolution.

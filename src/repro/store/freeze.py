@@ -1,0 +1,281 @@
+"""Recursive deterministic freezing: stable hashes over arbitrary object graphs.
+
+``content_fingerprint`` covers JSON-shaped payloads; evaluation contexts
+built from richer Python -- custom dataset objects, injected reward
+callables, closures over configuration -- fall outside it.  ``freeze`` maps
+such a graph onto a canonical token tree of tagged tuples whose leaves are
+plain strings, and ``freeze_fingerprint`` hashes that tree, so structurally
+equal graphs hash equal across processes (the ``charmonium.freeze`` idiom).
+
+Canonicalisation rules:
+
+* dict items and set elements are ordered by the canonical encoding of
+  their frozen form, so insertion order never leaks into the hash;
+* floats freeze via ``float.hex()`` (bit-exact, NaN/inf safe), ints via
+  ``repr``, bytes and ndarrays by content hash
+  (:func:`~repro.utils.fingerprint.array_fingerprint`);
+* functions freeze by module-qualified name plus a bytecode digest, their
+  defaults and every closure cell's frozen contents -- two lambdas that
+  close over different values hash differently, renaming a helper re-keys
+  it;
+* arbitrary objects freeze as their class's qualified name plus their
+  attribute ``__dict__``/``__slots__`` state, sorted.
+
+Escape hatches:
+
+* a class may define ``__freeze__(self)`` returning the state that *should*
+  be hashed (everything else is ignored);
+* a class-level ``FREEZE_EXEMPT = ("attr", ...)`` tuple names attributes to
+  skip -- open handles, caches, debug fields.  ``repro-lint`` rule KEY002
+  verifies the names refer to attributes that actually exist.
+
+Cycles are handled structurally: a back-reference freezes as the relative
+stack depth of the object it points back to, so isomorphic cyclic graphs
+hash equal and freezing always terminates.  Inherently unstable values --
+open files, generators, locks, threads -- raise :class:`UnfreezableError`
+naming the path at which they were found.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import threading
+import types
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.utils.fingerprint import array_fingerprint, content_fingerprint
+
+FREEZE_EXEMPT_ATTR = "FREEZE_EXEMPT"
+
+_UNFREEZABLE_TYPES: Tuple[type, ...] = (
+    io.IOBase,
+    types.GeneratorType,
+    types.CoroutineType,
+    types.AsyncGeneratorType,
+    types.FrameType,
+    types.TracebackType,
+    memoryview,
+    threading.Thread,
+)
+# Lock objects have no public type exported uniformly; detect structurally.
+_LOCK_ATTRS = ("acquire", "release", "locked")
+
+
+def _is_lock_like(obj: Any) -> bool:
+    return all(callable(getattr(obj, attr, None)) for attr in _LOCK_ATTRS)
+
+
+class UnfreezableError(TypeError):
+    """The graph contains a value with no stable frozen form."""
+
+    def __init__(self, obj: Any, path: Tuple[str, ...]):
+        joined = ".".join(path) or "$"
+        super().__init__(
+            f"cannot freeze {type(obj).__name__} at {joined}: no stable "
+            f"content representation; implement __freeze__() or list the "
+            f"attribute in {FREEZE_EXEMPT_ATTR}"
+        )
+        self.path = path
+
+
+def _encode(token: Any) -> str:
+    """Canonical text of a frozen token tree (tuples become JSON arrays)."""
+    return json.dumps(token, separators=(",", ":"), ensure_ascii=True)
+
+
+def _qualname(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def freeze(obj: Any) -> Any:
+    """The canonical token tree of ``obj`` (nested tuples of strings)."""
+    return _freeze(obj, {}, ())
+
+
+def freeze_fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of :func:`freeze`'s canonical encoding of ``obj``."""
+    return hashlib.sha256(_encode(freeze(obj)).encode("utf-8")).hexdigest()
+
+
+def fingerprint_payload(payload: Any) -> str:
+    """Fingerprint ``payload``: JSON-shaped fast path, freezer fallback.
+
+    JSON-encodable payloads keep their historical
+    :func:`~repro.utils.fingerprint.content_fingerprint` keys (nothing is
+    re-keyed by the freezer's arrival); payloads carrying richer objects --
+    the ``TypeError`` path -- are frozen instead of failing.
+    """
+    try:
+        return content_fingerprint(payload)
+    except TypeError:
+        return freeze_fingerprint(payload)
+
+
+def _freeze(obj: Any, stack: Dict[int, int], path: Tuple[str, ...]) -> Any:
+    # -- leaves (identity-free; no cycle bookkeeping needed) -----------------------
+    if obj is None:
+        return ("none",)
+    if obj is True or obj is False:
+        return ("bool", "1" if obj else "0")
+    if isinstance(obj, int) and not isinstance(obj, bool):
+        return ("int", repr(obj))
+    if isinstance(obj, float):
+        return ("float", obj.hex())
+    if isinstance(obj, complex):
+        return ("complex", obj.real.hex(), obj.imag.hex())
+    if isinstance(obj, str):
+        return ("str", obj)
+    if isinstance(obj, (bytes, bytearray)):
+        return ("bytes", hashlib.sha256(bytes(obj)).hexdigest())
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", array_fingerprint(obj))
+    if isinstance(obj, np.generic):
+        return ("npscalar", str(obj.dtype), _freeze(obj.item(), stack, path))
+    if isinstance(obj, type):
+        return ("class", _qualname(obj))
+    if isinstance(obj, types.ModuleType):
+        return ("module", obj.__name__)
+    if isinstance(obj, types.BuiltinFunctionType):
+        return ("builtin", getattr(obj, "__module__", "") or "", obj.__qualname__)
+    if isinstance(obj, _UNFREEZABLE_TYPES) or _is_lock_like(obj):
+        raise UnfreezableError(obj, path)
+
+    # -- containers / objects (cycle detection via stack depth) --------------------
+    oid = id(obj)
+    if oid in stack:
+        return ("cycle", repr(len(stack) - stack[oid]))
+    stack[oid] = len(stack)
+    try:
+        if isinstance(obj, dict):
+            items = tuple(
+                sorted(
+                    (
+                        (
+                            _freeze(key, stack, path + (repr(key),)),
+                            _freeze(value, stack, path + (repr(key),)),
+                        )
+                        for key, value in obj.items()
+                    ),
+                    key=_encode,
+                )
+            )
+            return ("dict", items)
+        if isinstance(obj, (set, frozenset)):
+            items = tuple(
+                sorted(
+                    (_freeze(item, stack, path + ("{}",)) for item in obj),
+                    key=_encode,
+                )
+            )
+            return ("set", items)
+        if isinstance(obj, (list, tuple)):
+            tag = "list" if isinstance(obj, list) else "tuple"
+            return (
+                tag,
+                tuple(
+                    _freeze(item, stack, path + (f"[{index}]",))
+                    for index, item in enumerate(obj)
+                ),
+            )
+        if isinstance(obj, types.FunctionType):
+            return _freeze_function(obj, stack, path)
+        if isinstance(obj, types.MethodType):
+            return (
+                "method",
+                obj.__func__.__qualname__,
+                _freeze(obj.__self__, stack, path + ("__self__",)),
+            )
+        custom = getattr(type(obj), "__freeze__", None)
+        if custom is not None:
+            return (
+                "custom",
+                _qualname(type(obj)),
+                _freeze(obj.__freeze__(), stack, path + ("__freeze__()",)),
+            )
+        if dataclasses.is_dataclass(obj):
+            exempt = _exempt_names(type(obj))
+            state = tuple(
+                (f.name, _freeze(getattr(obj, f.name), stack, path + (f.name,)))
+                for f in sorted(dataclasses.fields(obj), key=lambda f: f.name)
+                if f.name not in exempt
+            )
+            return ("dataclass", _qualname(type(obj)), state)
+        return _freeze_object(obj, stack, path)
+    finally:
+        del stack[oid]
+
+
+def _exempt_names(cls: type) -> frozenset:
+    names = getattr(cls, FREEZE_EXEMPT_ATTR, ())
+    return frozenset(str(name) for name in names)
+
+
+def _freeze_function(
+    func: types.FunctionType, stack: Dict[int, int], path: Tuple[str, ...]
+) -> Any:
+    """Functions: qualified name + bytecode digest + defaults + closure state.
+
+    The bytecode digest distinguishes same-named lambdas in one scope; the
+    closure freeze is what makes two instances of the same factory hash
+    differently when they closed over different values.
+    """
+    cells = tuple(
+        (
+            _freeze(cell.cell_contents, stack, path + (f"closure[{index}]",))
+            if _cell_is_set(cell)
+            else ("emptycell",)
+        )
+        for index, cell in enumerate(func.__closure__ or ())
+    )
+    defaults = _freeze(func.__defaults__, stack, path + ("__defaults__",))
+    kwdefaults = _freeze(func.__kwdefaults__, stack, path + ("__kwdefaults__",))
+    return (
+        "function",
+        getattr(func, "__module__", "") or "",
+        func.__qualname__,
+        hashlib.sha256(func.__code__.co_code).hexdigest(),
+        defaults,
+        kwdefaults,
+        cells,
+    )
+
+
+def _cell_is_set(cell: Any) -> bool:
+    try:
+        cell.cell_contents
+        return True
+    except ValueError:
+        return False
+
+
+def _freeze_object(obj: Any, stack: Dict[int, int], path: Tuple[str, ...]) -> Any:
+    """Generic objects: class identity plus sorted attribute state."""
+    cls = type(obj)
+    exempt = _exempt_names(cls)
+    state: Dict[str, Any] = {}
+    instance_dict = getattr(obj, "__dict__", None)
+    slots_seen = False
+    if isinstance(instance_dict, dict):
+        state.update(instance_dict)
+    for klass in cls.__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            if name in ("__dict__", "__weakref__"):
+                continue
+            slots_seen = True
+            if hasattr(obj, name):
+                state[name] = getattr(obj, name)
+    if instance_dict is None and not slots_seen and state == {} and cls is not object:
+        # No inspectable state at all (C-implemented or otherwise opaque):
+        # hashing just the class name would silently equate distinct values.
+        raise UnfreezableError(obj, path)
+    frozen_state = tuple(
+        (name, _freeze(value, stack, path + (name,)))
+        for name, value in sorted(state.items())
+        if name not in exempt
+    )
+    return ("object", _qualname(cls), frozen_state)

@@ -1,0 +1,18 @@
+"""KEY002 positive fixtures: stale FREEZE_EXEMPT entries."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StaleFreezeExempt:
+    alpha: int
+
+    FREEZE_EXEMPT = ("alpha", "vanished")
+
+
+class RenamedAttribute:
+    FREEZE_EXEMPT = ("_scratch", "_old_name")
+
+    def __init__(self) -> None:
+        self._scratch = {}
+        self._new_name = 0

@@ -1,0 +1,38 @@
+"""KEY002 negative fixtures: every FREEZE_EXEMPT entry resolves."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ExemptField:
+    alpha: int
+    label: str
+
+    FREEZE_EXEMPT = ("label",)
+
+
+class ExemptInstanceAttr:
+    FREEZE_EXEMPT = ("_cache", "refresh")
+
+    def __init__(self) -> None:
+        self._cache = {}
+
+    def refresh(self) -> None:
+        self._cache = {}
+
+
+class ExemptSlot:
+    __slots__ = ("payload", "_memo")
+
+    FREEZE_EXEMPT = ("_memo",)
+
+
+class ExemptClassLevel:
+    registry = {}
+
+    FREEZE_EXEMPT = ("registry",)
+
+
+class NoExemptions:
+    def __init__(self) -> None:
+        self.value = 1

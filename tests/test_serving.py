@@ -106,18 +106,48 @@ class TestPromotion:
         runs_root, run_id = finished_run
         again = zoo.promote_run(runs_root, run_id, name="tiny")
         assert again.version == entry.version
-        blobs = os.listdir(os.path.join(zoo.root, "_blobs"))
-        assert blobs == [f"{entry.manifest['weights_hash']}.npz"]
+        # The blobs dir is a content-addressed store: one object, no dup.
+        assert zoo.store.keys() == [entry.manifest["weights_object"]]
+        assert zoo.store.counters["put_dup"] >= 1
 
     def test_manifest_records_lineage_and_serving_shape(self, promoted):
-        _zoo, entry = promoted
+        zoo, entry = promoted
         manifest = entry.manifest
         assert manifest["input_shape"] == [3, 10, 10]
         assert manifest["latency_class"] == latency_class(
             manifest["reference_latency_ms"]
         )
         assert manifest["version"].startswith("v")
-        assert manifest["weights_blob"].endswith(f"{manifest['weights_hash']}.npz")
+        # weights_blob names the store object, relative to the zoo root.
+        key = manifest["weights_object"]
+        assert manifest["weights_blob"] == os.path.join(
+            "_blobs", "objects", key[:2], key[2:]
+        )
+        assert os.path.isfile(os.path.join(zoo.root, manifest["weights_blob"]))
+
+    def test_legacy_flat_blob_manifest_still_loads(self, promoted):
+        zoo, entry = promoted
+        # Rewrite the manifest to the pre-store form: flat blob path, no
+        # weights_object -- and move the archive to the legacy location.
+        key = entry.manifest["weights_object"]
+        legacy_blob = zoo.blob_path(entry.manifest["weights_hash"])
+        os.makedirs(os.path.dirname(legacy_blob), exist_ok=True)
+        data = zoo.store.get(key)
+        with open(legacy_blob, "wb") as handle:
+            handle.write(data)
+        zoo.store.delete(key)
+        manifest_path = os.path.join(entry.path, "MANIFEST.json")
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        del manifest["weights_object"]
+        manifest["weights_blob"] = os.path.join(
+            "_blobs", f"{manifest['weights_hash']}.npz"
+        )
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        model, _descriptor, loaded = zoo.load_model(entry.name)
+        assert loaded.version == entry.version
+        assert model.num_parameters() > 0
 
     def test_episode_pin_selects_that_record(self, finished_run, tmp_path):
         from repro.service.registry import RunRegistry
